@@ -1,0 +1,72 @@
+// Command tcbench regenerates the tables and figures of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	tcbench                 # every experiment
+//	tcbench -exp table2     # one experiment
+//	tcbench -exp fig10,fig11
+//	tcbench -list
+//	tcbench -warmup 400000 -insts 1000000 -progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tracecache"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions per run")
+		insts    = flag.Uint64("insts", 600_000, "measured instructions per run")
+		list     = flag.Bool("list", false, "list experiments")
+		progress = flag.Bool("progress", false, "log each simulation to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range tracecache.Experiments() {
+			fmt.Printf("%-13s %s\n              paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		for _, e := range tracecache.ExtensionExperiments() {
+			fmt.Printf("%-13s %s (extension)\n              basis: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []tracecache.Experiment
+	switch *exp {
+	case "all":
+		selected = tracecache.Experiments()
+	case "ext":
+		selected = tracecache.ExtensionExperiments()
+	case "everything":
+		selected = append(tracecache.Experiments(), tracecache.ExtensionExperiments()...)
+	default:
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := tracecache.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tcbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	r := tracecache.NewRunner(*warmup, *insts)
+	if *progress {
+		r.Log = os.Stderr
+	}
+	for _, e := range selected {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s: %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n", e.Paper)
+		fmt.Printf("------------------------------------------------------------------\n")
+		fmt.Println(e.Run(r))
+	}
+}

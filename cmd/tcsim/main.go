@@ -1,0 +1,144 @@
+// Command tcsim runs one benchmark under one machine configuration and
+// prints a full report: IPC, effective fetch rate, branch behaviour, the
+// fetch width breakdown and the fetch-cycle accounting.
+//
+// Usage:
+//
+//	tcsim -bench gcc -config baseline -warmup 400000 -insts 1000000
+//	tcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tracecache"
+	"tracecache/internal/program"
+	"tracecache/internal/stats"
+	"tracecache/internal/textplot"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
+		cfgStr   = flag.String("config", "baseline", "configuration name (see -list)")
+		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions before measurement")
+		insts    = flag.Uint64("insts", 1_000_000, "measured instructions")
+		list     = flag.Bool("list", false, "list benchmarks and configurations")
+		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of the report")
+		progFile = flag.String("prog", "", "run a saved program image (tcgen -save) instead of -bench")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks: ", strings.Join(tracecache.Benchmarks(), " "))
+		fmt.Println("configs:    ", strings.Join(tracecache.ConfigNames(), " "))
+		return
+	}
+
+	cfg, ok := tracecache.ConfigByName(*cfgStr)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tcsim: unknown config %q (try -list)\n", *cfgStr)
+		os.Exit(1)
+	}
+	cfg.WarmupInsts = *warmup
+	cfg.MaxInsts = *insts
+
+	var prog *tracecache.Program
+	var err error
+	if *progFile != "" {
+		prog, err = program.LoadFile(*progFile)
+	} else {
+		prog, err = tracecache.BenchmarkProgram(*bench)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcsim: %v (try -list)\n", err)
+		os.Exit(1)
+	}
+
+	s, err := tracecache.NewSimulator(cfg, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+		os.Exit(1)
+	}
+	run := s.Run()
+	if *asJSON {
+		out, err := run.Summary().JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	report(s, run)
+}
+
+func report(s *tracecache.Simulator, run *tracecache.Run) {
+	fmt.Printf("benchmark %s, configuration %s\n\n", run.Benchmark, run.Config)
+	fmt.Println(textplot.Table([]string{"Metric", "Value"}, [][]string{
+		{"retired instructions", fmt.Sprintf("%d", run.Retired)},
+		{"cycles", fmt.Sprintf("%d", run.Cycles)},
+		{"IPC", fmt.Sprintf("%.3f", run.IPC())},
+		{"effective fetch rate", fmt.Sprintf("%.2f", run.EffFetchRate())},
+		{"cond branches", fmt.Sprintf("%d", run.CondBranches)},
+		{"cond misprediction rate", fmt.Sprintf("%.2f%%", 100*run.CondMispredictRate())},
+		{"promoted executed", fmt.Sprintf("%d", run.PromotedExecuted)},
+		{"promoted faults", fmt.Sprintf("%d", run.PromotedFaults)},
+		{"indirect jumps / misses", fmt.Sprintf("%d / %d", run.IndirectJumps, run.IndirectMisses)},
+		{"avg mispredict resolution", fmt.Sprintf("%.1f cycles", run.AvgResolution())},
+		{"trace-cache miss cycles", fmt.Sprintf("%d", run.TCMissCycles)},
+	}))
+
+	fmt.Println()
+	bySize := run.Hist.BySize()
+	labels := make([]string, len(bySize))
+	vals := make([]float64, len(bySize))
+	for i := range bySize {
+		labels[i] = fmt.Sprintf("%2d", i)
+		vals[i] = bySize[i]
+	}
+	fmt.Println(textplot.Histogram(
+		fmt.Sprintf("Fetch width breakdown (mean %.2f)", run.Hist.Mean()), labels, vals, 50))
+
+	endLabels := make([]string, stats.NumFetchEnds)
+	endVals := make([]float64, stats.NumFetchEnds)
+	byEnd := run.Hist.ByEnd()
+	for e := stats.FetchEnd(0); e < stats.NumFetchEnds; e++ {
+		endLabels[e] = e.String()
+		endVals[e] = byEnd[e]
+	}
+	fmt.Println(textplot.Bars("Fetch termination conditions", endLabels, endVals, 50))
+
+	cycLabels := make([]string, stats.NumCycleClasses)
+	cycVals := make([]float64, stats.NumCycleClasses)
+	for c := stats.CycleClass(0); c < stats.NumCycleClasses; c++ {
+		cycLabels[c] = c.String()
+		if run.Cycles > 0 {
+			cycVals[c] = float64(run.Cycle[c]) / float64(run.Cycles)
+		}
+	}
+	fmt.Println(textplot.Bars("Fetch cycle accounting (fraction of cycles)", cycLabels, cycVals, 50))
+
+	if tc := s.TraceCache(); tc != nil {
+		st := tc.Stats()
+		fmt.Println(textplot.Table([]string{"Trace cache", "Value"}, [][]string{
+			{"lookups", fmt.Sprintf("%d", st.Lookups)},
+			{"hit rate", fmt.Sprintf("%.1f%%", 100*st.HitRate())},
+			{"inserts", fmt.Sprintf("%d", st.Inserts)},
+			{"evictions", fmt.Sprintf("%d", st.Evictions)},
+			{"demotion invalidations", fmt.Sprintf("%d", st.Demotions)},
+		}))
+	}
+	if fu := s.FillUnit(); fu != nil {
+		st := fu.Stats()
+		fmt.Println(textplot.Table([]string{"Fill unit", "Value"}, [][]string{
+			{"segments built", fmt.Sprintf("%d", st.Segments)},
+			{"avg segment length", fmt.Sprintf("%.2f", st.AvgSegmentLen())},
+			{"promoted branch instances", fmt.Sprintf("%d", st.Promotions)},
+			{"block splits (packing)", fmt.Sprintf("%d", st.Splits)},
+		}))
+	}
+}

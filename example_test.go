@@ -1,0 +1,43 @@
+package tracecache_test
+
+import (
+	"fmt"
+	"log"
+
+	"tracecache"
+)
+
+// ExampleSimulate runs one benchmark under the paper's recommended
+// machine and reports the headline statistics.
+func ExampleSimulate() {
+	prog, err := tracecache.BenchmarkProgram("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tracecache.BestConfig() // promotion(t=64) + cost-regulated packing
+	cfg.MaxInsts = 50_000
+	run, err := tracecache.Simulate(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retired %d instructions on %s\n", run.Retired, run.Config)
+	// Output: retired 50013 instructions on promo-pack-costreg
+}
+
+// ExampleAnalyzeProgram inspects a synthetic workload's dynamic stream.
+func ExampleAnalyzeProgram() {
+	prog, err := tracecache.BenchmarkProgram("vortex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := tracecache.AnalyzeProgram(prog, 100_000)
+	fmt.Printf("analysed %d instructions, %d fetch blocks\n", a.Insts, a.Blocks)
+	// Output: analysed 100000 instructions, 20697 fetch blocks
+}
+
+// ExampleConfigByName looks up one of the paper's named machines.
+func ExampleConfigByName() {
+	cfg, ok := tracecache.ConfigByName("promo-t64")
+	fmt.Println(ok, cfg.Fill.PromoteThreshold)
+	// Output: true 64
+}

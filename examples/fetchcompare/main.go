@@ -1,0 +1,53 @@
+// Fetchcompare contrasts the three fetch mechanisms of the paper — the
+// instruction-cache reference machine, the baseline trace cache, and the
+// trace cache with branch promotion and cost-regulated trace packing —
+// across several benchmarks, reproducing the shape of Figures 10 and 11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tracecache"
+)
+
+func main() {
+	benches := flag.String("benches", "compress,gcc,m88ksim,vortex", "comma-separated benchmarks")
+	insts := flag.Uint64("insts", 300_000, "measured instructions")
+	flag.Parse()
+
+	configs := []tracecache.Config{
+		tracecache.ICacheConfig(),
+		tracecache.BaselineConfig(),
+		tracecache.BestConfig(),
+	}
+
+	fmt.Printf("%-12s %-20s %8s %8s %10s\n", "benchmark", "config", "IPC", "eff", "mispredict")
+	for _, bench := range strings.Split(*benches, ",") {
+		bench = strings.TrimSpace(bench)
+		prog, err := tracecache.BenchmarkProgram(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var baseIPC float64
+		for _, cfg := range configs {
+			cfg.WarmupInsts = *insts
+			cfg.MaxInsts = *insts
+			run, err := tracecache.Simulate(cfg, prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			note := ""
+			if cfg.Name == "baseline" {
+				baseIPC = run.IPC()
+			} else if baseIPC > 0 {
+				note = fmt.Sprintf("  (%+.0f%% vs baseline)", 100*(run.IPC()-baseIPC)/baseIPC)
+			}
+			fmt.Printf("%-12s %-20s %8.2f %8.2f %9.1f%%%s\n",
+				bench, cfg.Name, run.IPC(), run.EffFetchRate(),
+				100*run.CondMispredictRate(), note)
+		}
+	}
+}

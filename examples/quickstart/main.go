@@ -1,0 +1,33 @@
+// Quickstart: simulate one benchmark under the paper's baseline trace
+// cache and its recommended promotion+packing machine, and print the
+// headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracecache"
+)
+
+func main() {
+	prog, err := tracecache.BenchmarkProgram("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []tracecache.Config{
+		tracecache.BaselineConfig(),
+		tracecache.BestConfig(),
+	} {
+		cfg.WarmupInsts = 200_000
+		cfg.MaxInsts = 400_000
+		run, err := tracecache.Simulate(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s IPC %.2f  effective fetch rate %5.2f  mispredict %.1f%%  promoted faults %d\n",
+			cfg.Name, run.IPC(), run.EffFetchRate(),
+			100*run.CondMispredictRate(), run.PromotedFaults)
+	}
+}

@@ -1,0 +1,51 @@
+// Threshold sweeps the branch-promotion threshold on one benchmark,
+// showing the trade the paper's Table 2 and Figure 7 describe: a low
+// threshold promotes more branches (higher fetch rate) but promotes
+// prematurely (more faults); a high threshold promotes conservatively.
+// gnuplot is the paper's example of premature promotion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tracecache"
+)
+
+func main() {
+	bench := flag.String("bench", "gnuplot", "benchmark name")
+	insts := flag.Uint64("insts", 300_000, "measured instructions")
+	flag.Parse()
+
+	prog, err := tracecache.BenchmarkProgram(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s\n\n", *bench)
+	fmt.Printf("%-12s %8s %10s %10s %10s %12s\n",
+		"config", "eff", "IPC", "promoted", "faults", "mispredict")
+
+	base := tracecache.BaselineConfig()
+	base.WarmupInsts, base.MaxInsts = *insts, *insts
+	run, err := tracecache.Simulate(base, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %8.2f %10.2f %10d %10d %11.2f%%\n",
+		"baseline", run.EffFetchRate(), run.IPC(), run.PromotedExecuted,
+		run.PromotedFaults, 100*run.CondMispredictRate())
+
+	for _, t := range []uint32{8, 16, 32, 64, 128, 256} {
+		cfg := tracecache.PromotionConfig(t)
+		cfg.WarmupInsts, cfg.MaxInsts = *insts, *insts
+		run, err := tracecache.Simulate(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("threshold=%-3d %8.2f %10.2f %10d %10d %11.2f%%\n",
+			t, run.EffFetchRate(), run.IPC(), run.PromotedExecuted,
+			run.PromotedFaults, 100*run.CondMispredictRate())
+	}
+}

@@ -1,0 +1,3 @@
+module tracecache
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package bpred implements the branch prediction hardware of the paper's
+// fetch mechanisms:
+//
+//   - the gshare tree multiple-branch predictor used with the trace cache
+//     (16K entries of 7 two-bit counters, up to three predictions per
+//     cycle; Figure 3 of the paper),
+//   - the restructured three-table predictor used once branches are
+//     promoted (64K/16K/8K two-bit counters; Section 4),
+//   - the hybrid gshare+PAs predictor with a selector used by the
+//     instruction-cache-only reference front end (Section 3), and
+//   - a last-target predictor for indirect jumps.
+//
+// Returns are predicted by an ideal return address stack, which the fetch
+// engine models directly.
+package bpred
+
+// Counter2 is a 2-bit saturating counter. Values 0..1 predict not taken,
+// 2..3 predict taken.
+type Counter2 uint8
+
+// Taken returns the counter's prediction.
+func (c Counter2) Taken() bool { return c >= 2 }
+
+// Update moves the counter toward the outcome, saturating at 0 and 3.
+func (c Counter2) Update(taken bool) Counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// weaklyNotTaken is the initial counter state.
+const weaklyNotTaken Counter2 = 1
+
+// History is a global branch history register of a fixed width. It is a
+// value type: the fetch engine checkpoints it by copying.
+type History struct {
+	Bits uint
+	Reg  uint64
+}
+
+// Push shifts an outcome into the history.
+func (h *History) Push(taken bool) {
+	h.Reg <<= 1
+	if taken {
+		h.Reg |= 1
+	}
+	h.Reg &= (1 << h.Bits) - 1
+}
+
+// PredCtx captures everything a predictor needs to update the counter that
+// produced a prediction. It is carried with the branch from fetch to
+// retire.
+type PredCtx struct {
+	Index uint32 // table index computed at prediction time
+	Slot  uint8  // which of the (up to three) predictions this cycle
+	Path  uint8  // predicted outcomes of earlier slots this cycle (bit i = slot i)
+}
+
+// MultiPredictor supplies conditional branch predictions for the trace
+// cache front end.
+type MultiPredictor interface {
+	// Predict returns the prediction for the slot-th dynamic branch of
+	// the current fetch. start is the fetch-group start PC (the paper's
+	// tree predictor is indexed once per fetch by fetch address), brPC the
+	// branch's own PC (used by per-branch predictors such as
+	// SingleHybridMBP), hist the global history at fetch, and path the
+	// predicted outcomes of earlier slots this cycle.
+	Predict(start, brPC int, hist uint64, slot int, path uint8) (bool, PredCtx)
+	// Update trains the counter that produced the prediction.
+	Update(ctx PredCtx, taken bool)
+	// MaxSlots returns the number of predictions available per cycle.
+	MaxSlots() int
+}
+
+// TreeMBP is the multiple branch predictor of Figure 3: a gshare-indexed
+// pattern history table whose entries each hold seven 2-bit counters
+// forming a depth-3 tree. Counter 0 predicts the first branch; counters
+// 1-2 predict the second branch conditioned on the first prediction;
+// counters 3-6 predict the third conditioned on the first two.
+type TreeMBP struct {
+	entries  [][7]Counter2
+	mask     uint32
+	histBits uint
+}
+
+// NewTreeMBP builds the predictor with the given number of entries (a
+// power of two; the paper uses 16K entries = 32KB of storage).
+func NewTreeMBP(entries int) *TreeMBP {
+	t := &TreeMBP{
+		entries:  make([][7]Counter2, entries),
+		mask:     uint32(entries - 1),
+		histBits: log2(entries),
+	}
+	for i := range t.entries {
+		for j := range t.entries[i] {
+			t.entries[i][j] = weaklyNotTaken
+		}
+	}
+	return t
+}
+
+func log2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// counterFor returns the tree position for a slot given earlier predicted
+// outcomes this cycle.
+func counterFor(slot int, path uint8) int {
+	switch slot {
+	case 0:
+		return 0
+	case 1:
+		return 1 + int(path&1)
+	default:
+		return 3 + int(path&3)
+	}
+}
+
+// Predict implements MultiPredictor; the branch PC is ignored (the table
+// is indexed by fetch address, per Figure 3).
+func (t *TreeMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (bool, PredCtx) {
+	idx := (uint32(start) ^ uint32(hist)) & t.mask
+	c := counterFor(slot, path)
+	taken := t.entries[idx][c].Taken()
+	return taken, PredCtx{Index: idx, Slot: uint8(slot), Path: path}
+}
+
+// Update implements MultiPredictor.
+func (t *TreeMBP) Update(ctx PredCtx, taken bool) {
+	c := counterFor(int(ctx.Slot), ctx.Path)
+	e := &t.entries[ctx.Index&t.mask]
+	e[c] = e[c].Update(taken)
+}
+
+// MaxSlots implements MultiPredictor.
+func (t *TreeMBP) MaxSlots() int { return 3 }
+
+// SplitMBP is the restructured predictor of Section 4: three independent
+// gshare tables sized for the post-promotion demand (the paper uses
+// 64K/16K/8K counters, 24KB total including storage savings relative to the
+// baseline once the 8KB bias table is added).
+type SplitMBP struct {
+	tables [3][]Counter2
+	masks  [3]uint32
+}
+
+// NewSplitMBP builds the predictor with per-slot table sizes (powers of
+// two).
+func NewSplitMBP(first, second, third int) *SplitMBP {
+	s := &SplitMBP{}
+	sizes := [3]int{first, second, third}
+	for i, n := range sizes {
+		s.tables[i] = make([]Counter2, n)
+		for j := range s.tables[i] {
+			s.tables[i][j] = weaklyNotTaken
+		}
+		s.masks[i] = uint32(n - 1)
+	}
+	return s
+}
+
+// Predict implements MultiPredictor; the branch PC is ignored (each table
+// is indexed by fetch address).
+func (s *SplitMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (bool, PredCtx) {
+	if slot > 2 {
+		slot = 2
+	}
+	idx := (uint32(start) ^ uint32(hist)) & s.masks[slot]
+	return s.tables[slot][idx].Taken(), PredCtx{Index: idx, Slot: uint8(slot), Path: path}
+}
+
+// Update implements MultiPredictor.
+func (s *SplitMBP) Update(ctx PredCtx, taken bool) {
+	slot := int(ctx.Slot)
+	if slot > 2 {
+		slot = 2
+	}
+	tb := s.tables[slot]
+	idx := ctx.Index & s.masks[slot]
+	tb[idx] = tb[idx].Update(taken)
+}
+
+// MaxSlots implements MultiPredictor.
+func (s *SplitMBP) MaxSlots() int { return 3 }
+
+// SingleHybridMBP adapts the aggressive hybrid single-branch predictor to
+// the trace cache front end: one highly accurate prediction per cycle,
+// indexed by the branch's own address. Section 4 suggests exactly this
+// once branch promotion has collapsed prediction-bandwidth demand ("for an
+// 8-wide machine ... promotion opens the possibility of using aggressive
+// hybrid single branch prediction with the trace cache").
+type SingleHybridMBP struct {
+	h *Hybrid
+}
+
+// NewSingleHybridMBP wraps the hybrid predictor (which must use the
+// default 2^15 gshare geometry so contexts pack into PredCtx).
+func NewSingleHybridMBP(h *Hybrid) *SingleHybridMBP { return &SingleHybridMBP{h: h} }
+
+// hybrid context packing inside PredCtx: Index holds the 15-bit gshare
+// index in the low bits and the branch PC above; Path bits 0/1 hold the
+// component predictions.
+const singleHybridIndexBits = 15
+
+// Predict implements MultiPredictor.
+func (s *SingleHybridMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (bool, PredCtx) {
+	if slot > 0 {
+		return false, PredCtx{}
+	}
+	taken, hc := s.h.Predict(brPC, hist)
+	ctx := PredCtx{Index: hc.GIndex | uint32(brPC)<<singleHybridIndexBits}
+	if hc.GPred {
+		ctx.Path |= 1
+	}
+	if hc.PPred {
+		ctx.Path |= 2
+	}
+	return taken, ctx
+}
+
+// Update implements MultiPredictor.
+func (s *SingleHybridMBP) Update(ctx PredCtx, taken bool) {
+	gi := ctx.Index & (1<<singleHybridIndexBits - 1)
+	pc := int(ctx.Index >> singleHybridIndexBits)
+	s.h.Update(HybridCtx{
+		GIndex: gi, SIndex: gi, PC: pc,
+		GPred: ctx.Path&1 != 0, PPred: ctx.Path&2 != 0,
+	}, taken)
+}
+
+// MaxSlots implements MultiPredictor.
+func (s *SingleHybridMBP) MaxSlots() int { return 1 }

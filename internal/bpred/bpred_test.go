@@ -1,0 +1,301 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter2Saturation(t *testing.T) {
+	c := Counter2(0)
+	if c.Taken() {
+		t.Error("0 should predict not taken")
+	}
+	c = c.Update(false)
+	if c != 0 {
+		t.Error("must saturate at 0")
+	}
+	for i := 0; i < 5; i++ {
+		c = c.Update(true)
+	}
+	if c != 3 || !c.Taken() {
+		t.Errorf("counter = %d after 5 increments", c)
+	}
+	c = c.Update(false)
+	if c != 2 || !c.Taken() {
+		t.Errorf("counter = %d after one decrement, want 2 (still taken)", c)
+	}
+}
+
+// Property: a counter always stays within [0,3] and two consecutive
+// same-direction updates always make it predict that direction.
+func TestCounter2Property(t *testing.T) {
+	f := func(start uint8, outcomes []bool) bool {
+		c := Counter2(start % 4)
+		for _, o := range outcomes {
+			c = c.Update(o)
+			if c > 3 {
+				return false
+			}
+		}
+		if len(outcomes) >= 2 {
+			last := outcomes[len(outcomes)-1]
+			if outcomes[len(outcomes)-2] == last {
+				c2 := c // already updated twice with 'last'
+				if c2.Taken() != last {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryPush(t *testing.T) {
+	h := History{Bits: 4}
+	h.Push(true)
+	h.Push(false)
+	h.Push(true)
+	if h.Reg != 0b101 {
+		t.Errorf("history = %b", h.Reg)
+	}
+	h.Push(true)
+	h.Push(true)
+	if h.Reg != 0b0111 {
+		t.Errorf("history after overflow = %b, want 0111", h.Reg)
+	}
+}
+
+func TestCounterFor(t *testing.T) {
+	cases := []struct {
+		slot int
+		path uint8
+		want int
+	}{
+		{0, 0, 0}, {0, 3, 0},
+		{1, 0, 1}, {1, 1, 2},
+		{2, 0b00, 3}, {2, 0b01, 4}, {2, 0b10, 5}, {2, 0b11, 6},
+	}
+	for _, c := range cases {
+		if got := counterFor(c.slot, c.path); got != c.want {
+			t.Errorf("counterFor(%d,%b) = %d, want %d", c.slot, c.path, got, c.want)
+		}
+	}
+}
+
+func TestTreeMBPLearnsPattern(t *testing.T) {
+	p := NewTreeMBP(1 << 14)
+	pc, hist := 100, uint64(0x3a)
+	// Train the first slot to taken.
+	for i := 0; i < 4; i++ {
+		_, ctx := p.Predict(pc, pc, hist, 0, 0)
+		p.Update(ctx, true)
+	}
+	if taken, _ := p.Predict(pc, pc, hist, 0, 0); !taken {
+		t.Error("slot 0 did not learn taken")
+	}
+	// Second slot conditioned on first prediction path.
+	for i := 0; i < 4; i++ {
+		_, ctx := p.Predict(pc, pc, hist, 1, 1)
+		p.Update(ctx, false)
+	}
+	if taken, _ := p.Predict(pc, pc, hist, 1, 1); taken {
+		t.Error("slot 1 path=1 did not learn not-taken")
+	}
+	// A different path uses a different counter: still cold.
+	if taken, _ := p.Predict(pc, pc, hist, 1, 0); taken {
+		t.Error("slot 1 path=0 should still be weakly not taken")
+	}
+	_, ctx := p.Predict(pc, pc, hist, 1, 0)
+	p.Update(ctx, true)
+	p.Update(ctx, true)
+	if taken, _ := p.Predict(pc, pc, hist, 1, 0); !taken {
+		t.Error("slot 1 path=0 did not learn independently")
+	}
+	// Third slot uses counters 3-6.
+	for path := uint8(0); path < 4; path++ {
+		want := path%2 == 0
+		_, c3 := p.Predict(pc, pc, hist, 2, path)
+		p.Update(c3, want)
+		p.Update(c3, want)
+		if got, _ := p.Predict(pc, pc, hist, 2, path); got != want {
+			t.Errorf("slot 2 path=%b = %v, want %v", path, got, want)
+		}
+	}
+	if p.MaxSlots() != 3 {
+		t.Errorf("MaxSlots = %d", p.MaxSlots())
+	}
+}
+
+func TestTreeMBPIndexMixesHistory(t *testing.T) {
+	p := NewTreeMBP(1 << 14)
+	pc := 0x123
+	_, a := p.Predict(pc, pc, 0, 0, 0)
+	_, b := p.Predict(pc, pc, 0x7fff, 0, 0)
+	if a.Index == b.Index {
+		t.Error("different histories should map to different entries (gshare)")
+	}
+}
+
+func TestSplitMBPIndependentTables(t *testing.T) {
+	p := NewSplitMBP(1<<16, 1<<14, 1<<13)
+	pc, hist := 42, uint64(7)
+	// Train slot 0 taken, slot 1 not-taken at the same pc/history.
+	for i := 0; i < 4; i++ {
+		_, c0 := p.Predict(pc, pc, hist, 0, 0)
+		p.Update(c0, true)
+		_, c1 := p.Predict(pc, pc, hist, 1, 1)
+		p.Update(c1, false)
+	}
+	if got, _ := p.Predict(pc, pc, hist, 0, 0); !got {
+		t.Error("slot 0 not trained")
+	}
+	if got, _ := p.Predict(pc, pc, hist, 1, 1); got {
+		t.Error("slot 1 not trained")
+	}
+	// Slots beyond 2 clamp to table 2.
+	_, c3 := p.Predict(pc, pc, hist, 5, 0)
+	if c3.Slot != 2 {
+		t.Errorf("slot clamp = %d, want 2", c3.Slot)
+	}
+	if p.MaxSlots() != 3 {
+		t.Errorf("MaxSlots = %d", p.MaxSlots())
+	}
+}
+
+func TestSplitMBPUpdateClampsSlot(t *testing.T) {
+	p := NewSplitMBP(16, 16, 16)
+	// Must not panic with an out-of-range slot in the context.
+	p.Update(PredCtx{Index: 3, Slot: 9}, true)
+}
+
+func TestPAsLearnsAlternation(t *testing.T) {
+	p := NewPAs(1<<12, 1<<15)
+	pc := 77
+	// Alternating branch: T N T N ... PAs learns it via local history.
+	for i := 0; i < 64; i++ {
+		p.Update(pc, i%2 == 0)
+	}
+	correct := 0
+	for i := 64; i < 96; i++ {
+		if p.Predict(pc) == (i%2 == 0) {
+			correct++
+		}
+		p.Update(pc, i%2 == 0)
+	}
+	if correct < 30 {
+		t.Errorf("PAs got %d/32 on alternating pattern", correct)
+	}
+}
+
+func TestHybridSelectsBetterComponent(t *testing.T) {
+	h := NewHybridSized(1<<12, 1<<10, 1<<12)
+	pc := 300
+	// A strictly alternating branch with constant global history: gshare
+	// sees one history and cannot learn it; PAs can. The selector should
+	// migrate to PAs.
+	for i := 0; i < 200; i++ {
+		_, ctx := h.Predict(pc, 0)
+		h.Update(ctx, i%2 == 0)
+	}
+	correct := 0
+	for i := 200; i < 264; i++ {
+		pred, ctx := h.Predict(pc, 0)
+		if pred == (i%2 == 0) {
+			correct++
+		}
+		h.Update(ctx, i%2 == 0)
+	}
+	if correct < 56 {
+		t.Errorf("hybrid got %d/64 on alternating pattern", correct)
+	}
+}
+
+func TestHybridBiasedBranch(t *testing.T) {
+	h := NewHybrid()
+	pc := 12
+	for i := 0; i < 16; i++ {
+		_, ctx := h.Predict(pc, uint64(i))
+		h.Update(ctx, true)
+	}
+	pred, _ := h.Predict(pc, 3)
+	if !pred {
+		t.Error("hybrid failed on an always-taken branch")
+	}
+}
+
+func TestIndirectPredictor(t *testing.T) {
+	ip := NewIndirectPredictor(1 << 10)
+	if _, ok := ip.Predict(55); ok {
+		t.Error("cold entry reported valid")
+	}
+	ip.Update(55, 1234)
+	tgt, ok := ip.Predict(55)
+	if !ok || tgt != 1234 {
+		t.Errorf("predict = (%d,%v)", tgt, ok)
+	}
+	ip.Update(55, 999)
+	if tgt, _ := ip.Predict(55); tgt != 999 {
+		t.Errorf("last-target update failed: %d", tgt)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]uint{1: 0, 2: 1, 1024: 10, 1 << 14: 14}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSingleHybridMBPAdapts(t *testing.T) {
+	s := NewSingleHybridMBP(NewHybrid())
+	if s.MaxSlots() != 1 {
+		t.Fatalf("MaxSlots = %d", s.MaxSlots())
+	}
+	// Slot 0 predictions train through the packed context: an
+	// always-taken branch becomes predicted taken.
+	brPC := 1234
+	for i := 0; i < 8; i++ {
+		_, ctx := s.Predict(0, brPC, uint64(i), 0, 0)
+		s.Update(ctx, true)
+	}
+	taken, _ := s.Predict(0, brPC, 3, 0, 0)
+	if !taken {
+		t.Error("single hybrid did not learn an always-taken branch")
+	}
+	// The packed context round-trips the branch PC (PAs needs it).
+	_, ctx := s.Predict(0, brPC, 0, 0, 0)
+	if int(ctx.Index>>singleHybridIndexBits) != brPC {
+		t.Errorf("packed pc = %d, want %d", ctx.Index>>singleHybridIndexBits, brPC)
+	}
+	// Slots beyond 0 yield no prediction.
+	if taken, ctx := s.Predict(0, brPC, 0, 1, 0); taken || ctx.Index != 0 {
+		t.Error("slot >0 must be inert")
+	}
+}
+
+func TestSingleHybridMBPAlternating(t *testing.T) {
+	// The PAs component (per-branch local history) should learn a strict
+	// alternation under constant global history, as the raw hybrid does.
+	s := NewSingleHybridMBP(NewHybridSized(1<<15, 1<<10, 1<<12))
+	brPC := 77
+	for i := 0; i < 200; i++ {
+		_, ctx := s.Predict(0, brPC, 0, 0, 0)
+		s.Update(ctx, i%2 == 0)
+	}
+	correct := 0
+	for i := 200; i < 264; i++ {
+		pred, ctx := s.Predict(0, brPC, 0, 0, 0)
+		if pred == (i%2 == 0) {
+			correct++
+		}
+		s.Update(ctx, i%2 == 0)
+	}
+	if correct < 56 {
+		t.Errorf("single hybrid got %d/64 on alternation", correct)
+	}
+}

@@ -1,0 +1,148 @@
+package bpred
+
+// HybridCtx carries update state for the hybrid predictor from fetch to
+// retire.
+type HybridCtx struct {
+	GIndex  uint32 // gshare table index
+	SIndex  uint32 // selector index
+	PC      int
+	GPred   bool
+	PPred   bool
+	UsedPAs bool
+}
+
+// Hybrid is the aggressive single-branch predictor used with the
+// instruction-cache-only front end (Section 3): a gshare component with 15
+// bits of global history, a PAs component with 15 bits of local history
+// and a 4K-entry branch history table, and a 2-bit selector indexed with
+// the gshare index.
+type Hybrid struct {
+	gshare   []Counter2
+	gmask    uint32
+	selector []Counter2
+	pas      *PAs
+}
+
+// NewHybrid builds the hybrid predictor with the paper's geometry.
+func NewHybrid() *Hybrid {
+	return NewHybridSized(1<<15, 1<<12, 1<<15)
+}
+
+// NewHybridSized builds a hybrid predictor with a gshare/selector table of
+// gsize counters, a PAs branch history table of bhtSize entries, and a PAs
+// pattern history table of psize counters.
+func NewHybridSized(gsize, bhtSize, psize int) *Hybrid {
+	h := &Hybrid{
+		gshare:   make([]Counter2, gsize),
+		gmask:    uint32(gsize - 1),
+		selector: make([]Counter2, gsize),
+		pas:      NewPAs(bhtSize, psize),
+	}
+	for i := range h.gshare {
+		h.gshare[i] = weaklyNotTaken
+		h.selector[i] = weaklyNotTaken
+	}
+	return h
+}
+
+// Predict returns the hybrid prediction for the branch at pc under the
+// given global history.
+func (h *Hybrid) Predict(pc int, hist uint64) (bool, HybridCtx) {
+	gi := (uint32(pc) ^ uint32(hist)) & h.gmask
+	g := h.gshare[gi].Taken()
+	p := h.pas.Predict(pc)
+	usePAs := h.selector[gi].Taken()
+	pred := g
+	if usePAs {
+		pred = p
+	}
+	return pred, HybridCtx{GIndex: gi, SIndex: gi, PC: pc, GPred: g, PPred: p, UsedPAs: usePAs}
+}
+
+// Update trains both components and the selector with the branch outcome.
+func (h *Hybrid) Update(ctx HybridCtx, taken bool) {
+	h.gshare[ctx.GIndex] = h.gshare[ctx.GIndex].Update(taken)
+	h.pas.Update(ctx.PC, taken)
+	if ctx.GPred != ctx.PPred {
+		// Train the selector toward the component that was right.
+		h.selector[ctx.SIndex] = h.selector[ctx.SIndex].Update(ctx.PPred == taken)
+	}
+}
+
+// PAs is a per-address two-level predictor: a branch history table of
+// local histories indexing a shared pattern history table.
+type PAs struct {
+	bht      []uint32
+	bhtMask  uint32
+	pht      []Counter2
+	phtMask  uint32
+	histBits uint
+}
+
+// NewPAs builds a PAs predictor with bhtSize local-history entries and a
+// pattern history table of phtSize counters (both powers of two).
+func NewPAs(bhtSize, phtSize int) *PAs {
+	p := &PAs{
+		bht:      make([]uint32, bhtSize),
+		bhtMask:  uint32(bhtSize - 1),
+		pht:      make([]Counter2, phtSize),
+		phtMask:  uint32(phtSize - 1),
+		histBits: log2(phtSize),
+	}
+	for i := range p.pht {
+		p.pht[i] = weaklyNotTaken
+	}
+	return p
+}
+
+// Predict returns the PAs prediction for the branch at pc.
+func (p *PAs) Predict(pc int) bool {
+	lh := p.bht[uint32(pc)&p.bhtMask]
+	return p.pht[lh&p.phtMask].Taken()
+}
+
+// Update trains the pattern entry selected by the current local history and
+// then shifts the outcome into the local history.
+func (p *PAs) Update(pc int, taken bool) {
+	bi := uint32(pc) & p.bhtMask
+	lh := p.bht[bi]
+	pi := lh & p.phtMask
+	p.pht[pi] = p.pht[pi].Update(taken)
+	lh <<= 1
+	if taken {
+		lh |= 1
+	}
+	p.bht[bi] = lh & ((1 << p.histBits) - 1)
+}
+
+// IndirectPredictor predicts indirect-jump targets with a last-target
+// table.
+type IndirectPredictor struct {
+	targets []int
+	valid   []bool
+	mask    uint32
+}
+
+// NewIndirectPredictor builds a last-target table with size entries (a
+// power of two).
+func NewIndirectPredictor(size int) *IndirectPredictor {
+	return &IndirectPredictor{
+		targets: make([]int, size),
+		valid:   make([]bool, size),
+		mask:    uint32(size - 1),
+	}
+}
+
+// Predict returns the predicted target for the indirect jump at pc and
+// whether the table has an entry.
+func (ip *IndirectPredictor) Predict(pc int) (int, bool) {
+	i := uint32(pc) & ip.mask
+	return ip.targets[i], ip.valid[i]
+}
+
+// Update records the resolved target.
+func (ip *IndirectPredictor) Update(pc, target int) {
+	i := uint32(pc) & ip.mask
+	ip.targets[i] = target
+	ip.valid[i] = true
+}

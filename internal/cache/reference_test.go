@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a deliberately naive set-associative LRU cache used as a
+// behavioural reference: each set is an ordered slice, most recent first.
+type refCache struct {
+	sets      map[uint64][]uint64
+	assoc     int
+	lineShift uint
+	setMask   uint64
+}
+
+func newRef(cfg Config) *refCache {
+	sh := uint(0)
+	for 1<<sh < cfg.LineBytes {
+		sh++
+	}
+	return &refCache{
+		sets:      make(map[uint64][]uint64),
+		assoc:     cfg.Assoc,
+		lineShift: sh,
+		setMask:   uint64(cfg.Sets() - 1),
+	}
+}
+
+func (r *refCache) access(addr uint64) bool {
+	line := addr >> r.lineShift
+	set := line & r.setMask
+	tags := r.sets[set]
+	for i, t := range tags {
+		if t == line {
+			// Move to front.
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = line
+			return true
+		}
+	}
+	tags = append([]uint64{line}, tags...)
+	if len(tags) > r.assoc {
+		tags = tags[:r.assoc]
+	}
+	r.sets[set] = tags
+	return false
+}
+
+// TestCacheMatchesReferenceModel drives the production cache and the naive
+// reference with the same random access stream and requires identical
+// hit/miss behaviour on every access.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfgs := []Config{
+		{Name: "dm", SizeBytes: 1024, LineBytes: 32, Assoc: 1},
+		{Name: "2w", SizeBytes: 2048, LineBytes: 64, Assoc: 2},
+		{Name: "4w", SizeBytes: 4096, LineBytes: 64, Assoc: 4},
+		{Name: "full", SizeBytes: 512, LineBytes: 64, Assoc: 8},
+	}
+	rnd := rand.New(rand.NewSource(3))
+	for _, cfg := range cfgs {
+		c := MustNew(cfg)
+		ref := newRef(cfg)
+		// A mix of hot lines (locality) and cold misses.
+		hot := make([]uint64, 16)
+		for i := range hot {
+			hot[i] = uint64(rnd.Intn(1 << 16))
+		}
+		for i := 0; i < 50000; i++ {
+			var addr uint64
+			if rnd.Intn(3) > 0 {
+				addr = hot[rnd.Intn(len(hot))] + uint64(rnd.Intn(64))
+			} else {
+				addr = uint64(rnd.Intn(1 << 18))
+			}
+			got := c.Access(addr)
+			want := ref.access(addr)
+			if got != want {
+				t.Fatalf("%s: access %d addr %#x: got hit=%v, reference %v",
+					cfg.Name, i, addr, got, want)
+			}
+		}
+		st := c.Stats()
+		if st.Accesses != 50000 {
+			t.Errorf("%s: accesses = %d", cfg.Name, st.Accesses)
+		}
+	}
+}

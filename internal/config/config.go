@@ -1,0 +1,122 @@
+// Package config names the machine configurations of the paper's
+// evaluation: the instruction-cache reference machine, the baseline trace
+// cache, branch promotion at each studied threshold, trace packing and its
+// regulation schemes, the combined configurations, and the
+// perfect-memory-disambiguation variants of Section 6.
+package config
+
+import (
+	"fmt"
+
+	"tracecache/internal/core"
+	"tracecache/internal/sim"
+)
+
+// ICache returns the reference front end (128KB dual-ported icache, hybrid
+// predictor).
+func ICache() sim.Config { return sim.ICacheConfig() }
+
+// Baseline returns the paper's baseline trace cache: atomic blocks, no
+// promotion, inactive issue, gshare tree predictor.
+func Baseline() sim.Config { return sim.DefaultConfig() }
+
+// Promotion returns the baseline plus branch promotion at the given
+// threshold, using the restructured three-table predictor of Section 4.
+func Promotion(threshold uint32) sim.Config {
+	c := sim.DefaultConfig()
+	c.Name = fmt.Sprintf("promo-t%d", threshold)
+	c.Fill = core.DefaultFillConfig(core.PackAtomic, threshold)
+	c.SplitMBP = true
+	return c
+}
+
+// Packing returns the baseline plus unregulated trace packing (no
+// promotion).
+func Packing() sim.Config {
+	c := sim.DefaultConfig()
+	c.Name = "packing"
+	c.Fill = core.DefaultFillConfig(core.PackUnregulated, 0)
+	return c
+}
+
+// PromotionPacking returns promotion (threshold 64 unless overridden) plus
+// the given packing policy.
+func PromotionPacking(policy core.PackPolicy, threshold uint32) sim.Config {
+	c := sim.DefaultConfig()
+	c.Name = fmt.Sprintf("promo-pack-%s", policy)
+	c.Fill = core.DefaultFillConfig(policy, threshold)
+	c.SplitMBP = true
+	return c
+}
+
+// Oracle returns the configuration with the perfect-memory-disambiguation
+// execution core of Section 6.
+func Oracle(c sim.Config) sim.Config {
+	c.Name += "-oracle"
+	c.Engine.MemOracle = true
+	return c
+}
+
+// PromotionThreshold is the threshold the paper settles on for the
+// combined experiments.
+const PromotionThreshold = 64
+
+// Best returns the paper's recommended configuration: promotion at
+// threshold 64 with cost-regulated trace packing.
+func Best() sim.Config {
+	return PromotionPacking(core.PackCostRegulated, PromotionThreshold)
+}
+
+// EightWide narrows a configuration to an 8-wide fetch machine with
+// 8-instruction trace segments (Section 4's near-term design point).
+func EightWide(c sim.Config) sim.Config {
+	c.Name = "8wide-" + c.Name
+	c.FetchWidth = 8
+	c.Fill.MaxInsts = 8
+	return c
+}
+
+// EightWidePromotionHybrid returns the Section 4 suggestion: an 8-wide
+// trace cache with branch promotion sequenced by the aggressive hybrid
+// single-branch predictor.
+func EightWidePromotionHybrid() sim.Config {
+	c := EightWide(Promotion(PromotionThreshold))
+	c.Name = "8wide-promo-hybrid"
+	c.SplitMBP = false
+	c.SingleHybrid = true
+	return c
+}
+
+// All returns every named configuration used by the experiments.
+func All() []sim.Config {
+	out := []sim.Config{ICache(), Baseline(), Packing()}
+	for _, t := range []uint32{8, 16, 32, 64, 128, 256} {
+		out = append(out, Promotion(t))
+	}
+	for _, p := range []core.PackPolicy{core.PackUnregulated, core.PackCostRegulated, core.PackChunk2, core.PackChunk4} {
+		out = append(out, PromotionPacking(p, PromotionThreshold))
+	}
+	out = append(out, Oracle(ICache()), Oracle(Baseline()), Oracle(Best()))
+	out = append(out, EightWide(Baseline()), EightWide(Promotion(PromotionThreshold)), EightWidePromotionHybrid())
+	return out
+}
+
+// ByName returns the named configuration.
+func ByName(name string) (sim.Config, bool) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return sim.Config{}, false
+}
+
+// Names lists all configuration names.
+func Names() []string {
+	cs := All()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package config
+
+import (
+	"testing"
+
+	"tracecache/internal/core"
+)
+
+func TestAllConfigsValid(t *testing.T) {
+	cs := All()
+	if len(cs) < 12 {
+		t.Fatalf("only %d configs", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate config name %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestPromotionConfig(t *testing.T) {
+	c := Promotion(64)
+	if c.Name != "promo-t64" {
+		t.Errorf("name = %s", c.Name)
+	}
+	if c.Fill.PromoteThreshold != 64 || c.Fill.Packing != core.PackAtomic {
+		t.Errorf("fill = %+v", c.Fill)
+	}
+	if !c.SplitMBP {
+		t.Error("promotion should use the restructured predictor")
+	}
+}
+
+func TestPackingConfig(t *testing.T) {
+	c := Packing()
+	if c.Fill.Packing != core.PackUnregulated || c.Fill.PromoteThreshold != 0 {
+		t.Errorf("fill = %+v", c.Fill)
+	}
+	if c.SplitMBP {
+		t.Error("packing alone keeps the tree predictor")
+	}
+}
+
+func TestPromotionPackingNames(t *testing.T) {
+	c := PromotionPacking(core.PackChunk2, 64)
+	if c.Name != "promo-pack-chunk2" {
+		t.Errorf("name = %s", c.Name)
+	}
+	if c.Fill.Packing != core.PackChunk2 || c.Fill.PromoteThreshold != 64 {
+		t.Errorf("fill = %+v", c.Fill)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	c := Oracle(Baseline())
+	if c.Name != "baseline-oracle" || !c.Engine.MemOracle {
+		t.Errorf("oracle = %+v", c)
+	}
+	// The original is unchanged (value semantics).
+	if Baseline().Engine.MemOracle {
+		t.Error("Baseline mutated")
+	}
+}
+
+func TestBest(t *testing.T) {
+	c := Best()
+	if c.Fill.Packing != core.PackCostRegulated || c.Fill.PromoteThreshold != PromotionThreshold {
+		t.Errorf("best = %+v", c.Fill)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		c, ok := ByName(name)
+		if !ok || c.Name != name {
+			t.Errorf("ByName(%s) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+func TestICacheGeometry(t *testing.T) {
+	c := ICache()
+	if c.ICacheBytes != 128<<10 {
+		t.Errorf("icache bytes = %d", c.ICacheBytes)
+	}
+	if Baseline().ICacheBytes != 4<<10 {
+		t.Errorf("supporting icache bytes = %d", Baseline().ICacheBytes)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBiasTableConsecutiveCount(t *testing.T) {
+	b := NewBiasTable(1024, 1023)
+	pc := 42
+	if _, _, ok := b.Lookup(pc); ok {
+		t.Fatal("cold lookup hit")
+	}
+	for i := 0; i < 5; i++ {
+		b.Update(pc, true)
+	}
+	dir, count, ok := b.Lookup(pc)
+	if !ok || !dir || count != 5 {
+		t.Errorf("lookup = (%v,%d,%v), want (true,5,true)", dir, count, ok)
+	}
+	// A flip resets the count and direction.
+	b.Update(pc, false)
+	dir, count, ok = b.Lookup(pc)
+	if !ok || dir || count != 1 {
+		t.Errorf("after flip = (%v,%d,%v), want (false,1,true)", dir, count, ok)
+	}
+}
+
+func TestBiasTableSaturates(t *testing.T) {
+	b := NewBiasTable(64, 7)
+	pc := 3
+	for i := 0; i < 100; i++ {
+		b.Update(pc, true)
+	}
+	if _, count, _ := b.Lookup(pc); count != 7 {
+		t.Errorf("count = %d, want saturated 7", count)
+	}
+}
+
+func TestBiasTableTagConflict(t *testing.T) {
+	b := NewBiasTable(16, 1023)
+	// pc=5 and pc=5+16 share an index but differ in tag.
+	b.Update(5, true)
+	b.Update(5, true)
+	b.Update(5+16, false)
+	if _, _, ok := b.Lookup(5); ok {
+		t.Error("conflicting tag should have replaced the entry")
+	}
+	dir, count, ok := b.Lookup(5 + 16)
+	if !ok || dir || count != 1 {
+		t.Errorf("replacement entry = (%v,%d,%v)", dir, count, ok)
+	}
+}
+
+func TestShouldDemote(t *testing.T) {
+	b := NewBiasTable(64, 1023)
+	pc := 9
+	// Missing entry: demote.
+	if !b.ShouldDemote(pc, true) {
+		t.Error("miss should demote")
+	}
+	// One opposite outcome (loop exit): keep the promotion.
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	b.Update(pc, false)
+	if b.ShouldDemote(pc, true) {
+		t.Error("a single opposite outcome must not demote")
+	}
+	// Two consecutive opposites: demote.
+	b.Update(pc, false)
+	if !b.ShouldDemote(pc, true) {
+		t.Error("two opposite outcomes must demote")
+	}
+	// Same-direction history never demotes.
+	b.Update(pc, true)
+	b.Update(pc, true)
+	if b.ShouldDemote(pc, true) {
+		t.Error("same-direction history demoted")
+	}
+}
+
+// Property: after n same-direction updates of a resident branch the count
+// is min(n, max) and the direction matches.
+func TestBiasTableCountProperty(t *testing.T) {
+	f := func(pcRaw uint16, n uint8, dir bool) bool {
+		b := NewBiasTable(256, 50)
+		pc := int(pcRaw)
+		reps := int(n%60) + 1
+		for i := 0; i < reps; i++ {
+			b.Update(pc, dir)
+		}
+		d, c, ok := b.Lookup(pc)
+		want := uint32(reps)
+		if want > 50 {
+			want = 50
+		}
+		return ok && d == dir && c == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

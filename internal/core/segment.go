@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tracecache/internal/isa"
+)
+
+// SegInst is one instruction within a trace segment. For conditional
+// branches, Taken records the outcome embedded in the segment (the path
+// the following instructions continue along), and Promoted marks branches
+// the fill unit converted to static predictions.
+type SegInst struct {
+	PC       int
+	Inst     isa.Inst
+	Taken    bool
+	Promoted bool
+}
+
+// NextPC returns the PC that follows this instruction along the segment's
+// embedded path, and whether it is statically known (false for returns and
+// indirect jumps, whose targets come from the RAS or indirect predictor).
+func (si SegInst) NextPC() (int, bool) {
+	switch {
+	case si.Inst.Op == isa.OpBr:
+		if si.Taken {
+			return si.Inst.Target, true
+		}
+		return si.PC + 1, true
+	case si.Inst.IsUncondDirect():
+		return si.Inst.Target, true
+	case si.Inst.TerminatesSegment():
+		return 0, false
+	default:
+		return si.PC + 1, true
+	}
+}
+
+// FinalizeReason records why the fill unit finalized a segment; the fetch
+// engine uses it to classify fetch terminations (Figures 4 and 6).
+type FinalizeReason uint8
+
+// Finalize reasons.
+const (
+	FinalNone        FinalizeReason = iota
+	FinalMaxSize                    // segment reached 16 instructions
+	FinalMaxBranches                // segment reached 3 non-promoted branches
+	FinalTerminator                 // return, indirect jump, or trap
+	FinalAtomic                     // next block did not fit (atomic or regulated packing)
+)
+
+var finalNames = [...]string{"none", "maxsize", "maxbranches", "terminator", "atomic"}
+
+// String names the reason.
+func (r FinalizeReason) String() string {
+	if int(r) < len(finalNames) {
+		return finalNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Segment is one trace cache line: up to 16 instructions spanning up to
+// three fetch blocks (delimited by non-promoted conditional branches), with
+// embedded outcomes.
+type Segment struct {
+	Start    int
+	Insts    []SegInst
+	Reason   FinalizeReason
+	branches int
+}
+
+// Len returns the number of instructions in the segment.
+func (s *Segment) Len() int { return len(s.Insts) }
+
+// NumBranches returns the number of non-promoted conditional branches.
+func (s *Segment) NumBranches() int { return s.branches }
+
+// PathSig returns the embedded outcomes of the segment's non-promoted
+// conditional branches as a bit vector (bit i = i-th branch taken), used
+// by path-associative lookup.
+func (s *Segment) PathSig() (sig uint8, n int) {
+	for _, si := range s.Insts {
+		if si.Inst.IsCondBranch() && !si.Promoted {
+			if si.Taken {
+				sig |= 1 << uint(n)
+			}
+			n++
+			if n == 8 {
+				break
+			}
+		}
+	}
+	return sig, n
+}
+
+// NumPromoted returns the number of promoted branches in the segment.
+func (s *Segment) NumPromoted() int {
+	n := 0
+	for _, si := range s.Insts {
+		if si.Promoted {
+			n++
+		}
+	}
+	return n
+}
+
+// Blocks returns the indices (into Insts) at which fetch blocks begin.
+// A new block begins after each non-promoted conditional branch.
+func (s *Segment) Blocks() []int {
+	starts := []int{0}
+	for i, si := range s.Insts {
+		if si.Inst.IsCondBranch() && !si.Promoted && i+1 < len(s.Insts) {
+			starts = append(starts, i+1)
+		}
+	}
+	return starts
+}
+
+// ContainsPromoted reports whether the segment holds a promoted branch at
+// pc.
+func (s *Segment) ContainsPromoted(pc int) bool {
+	for _, si := range s.Insts {
+		if si.Promoted && si.PC == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the segment for diagnostics.
+func (s *Segment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "segment@%d[%d insts, %d br, %s]:", s.Start, s.Len(), s.branches, s.Reason)
+	for _, si := range s.Insts {
+		tag := ""
+		if si.Inst.IsCondBranch() {
+			switch {
+			case si.Promoted && si.Taken:
+				tag = "(P:T)"
+			case si.Promoted:
+				tag = "(P:N)"
+			case si.Taken:
+				tag = "(T)"
+			default:
+				tag = "(N)"
+			}
+		}
+		fmt.Fprintf(&b, " %d:%s%s", si.PC, si.Inst.Op, tag)
+	}
+	return b.String()
+}
+
+// TraceCacheConfig sets the geometry of the trace cache.
+type TraceCacheConfig struct {
+	Entries int // total lines (paper: 2048, ~128KB of instruction storage)
+	Assoc   int // ways per set (paper: 4)
+	// PathAssoc enables path associativity: segments with the same start
+	// but different embedded paths may be resident simultaneously, and
+	// lookup selects the way matching the predicted path. The paper's
+	// machine does not use it (Section 3 points to [9] for analysis);
+	// this is the ablation.
+	PathAssoc bool
+}
+
+// Validate reports configuration errors.
+func (c TraceCacheConfig) Validate() error {
+	if c.Entries <= 0 || c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("trace cache: bad geometry %+v", c)
+	}
+	if s := c.Entries / c.Assoc; s&(s-1) != 0 {
+		return fmt.Errorf("trace cache: sets %d not a power of two", s)
+	}
+	return nil
+}
+
+// TraceCacheStats counts trace cache activity.
+type TraceCacheStats struct {
+	Lookups    uint64
+	Hits       uint64
+	Inserts    uint64
+	Overwrites uint64 // inserts that replaced a segment with the same start
+	Evictions  uint64 // inserts that displaced a different segment
+	Demotions  uint64 // lines invalidated by branch demotion
+}
+
+// HitRate returns hits per lookup.
+func (s TraceCacheStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type tcWay struct {
+	seg *Segment
+	lru uint64
+}
+
+// TraceCache stores trace segments indexed by starting fetch address. In
+// the paper's configuration it is not path associative: only one segment
+// starting at a given address is resident at a time (inserting a segment
+// replaces any existing segment with the same start, per Section 3). With
+// TraceCacheConfig.PathAssoc, distinct paths from the same start coexist
+// and LookupPath selects among them.
+type TraceCache struct {
+	sets      [][]tcWay
+	mask      uint32
+	clock     uint64
+	pathAssoc bool
+	stats     TraceCacheStats
+}
+
+// NewTraceCache builds a trace cache.
+func NewTraceCache(cfg TraceCacheConfig) (*TraceCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Entries / cfg.Assoc
+	t := &TraceCache{mask: uint32(nsets - 1), pathAssoc: cfg.PathAssoc}
+	backing := make([]tcWay, cfg.Entries)
+	t.sets = make([][]tcWay, nsets)
+	for i := range t.sets {
+		t.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return t, nil
+}
+
+// MustNewTraceCache is NewTraceCache, panicking on config errors.
+func MustNewTraceCache(cfg TraceCacheConfig) *TraceCache {
+	t, err := NewTraceCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Stats returns activity counters.
+func (t *TraceCache) Stats() TraceCacheStats { return t.stats }
+
+// Lookup returns the segment starting at start, or nil on a miss.
+func (t *TraceCache) Lookup(start int) *Segment {
+	t.clock++
+	t.stats.Lookups++
+	set := t.sets[uint32(start)&t.mask]
+	for i := range set {
+		if set[i].seg != nil && set[i].seg.Start == start {
+			set[i].lru = t.clock
+			t.stats.Hits++
+			return set[i].seg
+		}
+	}
+	return nil
+}
+
+// Insert writes a segment. Without path associativity any resident
+// segment with the same start is replaced; with it, only a segment with
+// the same start and the same embedded path is replaced. Otherwise the
+// LRU way is evicted.
+func (t *TraceCache) Insert(seg *Segment) {
+	t.clock++
+	t.stats.Inserts++
+	set := t.sets[uint32(seg.Start)&t.mask]
+	sig, nsig := seg.PathSig()
+	victim := 0
+	for i := range set {
+		if set[i].seg != nil && set[i].seg.Start == seg.Start {
+			if t.pathAssoc {
+				osig, on := set[i].seg.PathSig()
+				if osig != sig || on != nsig {
+					continue // a different path may stay resident
+				}
+			}
+			if set[i].seg != seg {
+				t.stats.Overwrites++
+			}
+			set[i] = tcWay{seg: seg, lru: t.clock}
+			return
+		}
+		if set[i].seg == nil {
+			victim = i
+		} else if set[victim].seg != nil && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].seg != nil {
+		t.stats.Evictions++
+	}
+	set[victim] = tcWay{seg: seg, lru: t.clock}
+}
+
+// LookupPath returns the resident segment starting at start whose embedded
+// path matches the longest prefix of the predicted path bits (bit i = i-th
+// predicted branch outcome). Without path associativity at most one
+// candidate exists and it is returned regardless of path.
+func (t *TraceCache) LookupPath(start int, path uint8) *Segment {
+	t.clock++
+	t.stats.Lookups++
+	set := t.sets[uint32(start)&t.mask]
+	best := -1
+	bestLen := -1
+	for i := range set {
+		if set[i].seg == nil || set[i].seg.Start != start {
+			continue
+		}
+		sig, n := set[i].seg.PathSig()
+		l := matchLen(sig, path, n)
+		if l > bestLen || (l == bestLen && best >= 0 && set[i].lru > set[best].lru) {
+			best, bestLen = i, l
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	set[best].lru = t.clock
+	t.stats.Hits++
+	return set[best].seg
+}
+
+// matchLen counts how many leading branch outcomes of sig agree with path.
+func matchLen(sig, path uint8, n int) int {
+	l := 0
+	for i := 0; i < n; i++ {
+		if (sig>>uint(i))&1 != (path>>uint(i))&1 {
+			break
+		}
+		l++
+	}
+	return l
+}
+
+// InvalidatePromoted removes every segment containing a promoted branch at
+// pc, returning the number of lines invalidated. The simulator calls this
+// when a faulting promoted branch is demoted so stale segments stop
+// faulting.
+func (t *TraceCache) InvalidatePromoted(pc int) int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].seg != nil && set[i].seg.ContainsPromoted(pc) {
+				set[i] = tcWay{}
+				n++
+			}
+		}
+	}
+	t.stats.Demotions += uint64(n)
+	return n
+}
+
+// Reset clears contents and statistics.
+func (t *TraceCache) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = tcWay{}
+		}
+	}
+	t.clock = 0
+	t.stats = TraceCacheStats{}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tracecache/internal/isa"
+)
+
+func br(pc, target int, taken bool) SegInst {
+	return SegInst{PC: pc, Inst: isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: target}, Taken: taken}
+}
+
+func alu(pc int) SegInst {
+	return SegInst{PC: pc, Inst: isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 2}}
+}
+
+func TestSegInstNextPC(t *testing.T) {
+	cases := []struct {
+		si     SegInst
+		want   int
+		wantOK bool
+	}{
+		{alu(10), 11, true},
+		{br(10, 50, true), 50, true},
+		{br(10, 50, false), 11, true},
+		{SegInst{PC: 10, Inst: isa.Inst{Op: isa.OpJmp, Target: 99}}, 99, true},
+		{SegInst{PC: 10, Inst: isa.Inst{Op: isa.OpCall, Target: 7}}, 7, true},
+		{SegInst{PC: 10, Inst: isa.Inst{Op: isa.OpRet}}, 0, false},
+		{SegInst{PC: 10, Inst: isa.Inst{Op: isa.OpJmpInd}}, 0, false},
+		{SegInst{PC: 10, Inst: isa.Inst{Op: isa.OpTrap}}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.si.NextPC()
+		if ok != c.wantOK || (ok && got != c.want) {
+			t.Errorf("%v NextPC = (%d,%v), want (%d,%v)", c.si.Inst, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestSegmentBlocks(t *testing.T) {
+	s := &Segment{Start: 0, Insts: []SegInst{
+		alu(0), alu(1), br(2, 20, true),
+		alu(20), br(21, 40, false),
+		alu(22), alu(23),
+	}, branches: 2}
+	blocks := s.Blocks()
+	if len(blocks) != 3 || blocks[0] != 0 || blocks[1] != 3 || blocks[2] != 5 {
+		t.Errorf("blocks = %v", blocks)
+	}
+}
+
+func TestSegmentBlocksPromotedDoesNotSplit(t *testing.T) {
+	p := br(2, 20, true)
+	p.Promoted = true
+	s := &Segment{Insts: []SegInst{alu(0), alu(1), p, alu(20), br(21, 0, false)}, branches: 1}
+	blocks := s.Blocks()
+	if len(blocks) != 1 {
+		t.Errorf("promoted branch split blocks: %v", blocks)
+	}
+}
+
+func TestSegmentTrailingBranchNoEmptyBlock(t *testing.T) {
+	s := &Segment{Insts: []SegInst{alu(0), br(1, 9, true)}, branches: 1}
+	if blocks := s.Blocks(); len(blocks) != 1 {
+		t.Errorf("trailing branch created empty block: %v", blocks)
+	}
+}
+
+func TestSegmentCounters(t *testing.T) {
+	p := br(5, 2, true)
+	p.Promoted = true
+	s := &Segment{Insts: []SegInst{alu(0), p, br(6, 0, false)}, branches: 1}
+	if s.Len() != 3 || s.NumBranches() != 1 || s.NumPromoted() != 1 {
+		t.Errorf("len=%d br=%d promo=%d", s.Len(), s.NumBranches(), s.NumPromoted())
+	}
+	if !s.ContainsPromoted(5) || s.ContainsPromoted(6) {
+		t.Error("ContainsPromoted wrong")
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	p := br(5, 2, false)
+	p.Promoted = true
+	s := &Segment{Start: 4, Insts: []SegInst{alu(4), p}, branches: 0, Reason: FinalTerminator}
+	str := s.String()
+	for _, want := range []string{"segment@4", "(P:N)", "terminator"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestFinalizeReasonString(t *testing.T) {
+	if FinalMaxSize.String() != "maxsize" || FinalizeReason(99).String() != "reason(99)" {
+		t.Error("reason names wrong")
+	}
+}
+
+func TestTraceCacheConfigValidate(t *testing.T) {
+	if err := (TraceCacheConfig{Entries: 2048, Assoc: 4}).Validate(); err != nil {
+		t.Errorf("paper config rejected: %v", err)
+	}
+	bad := []TraceCacheConfig{
+		{},
+		{Entries: 10, Assoc: 4},
+		{Entries: 24, Assoc: 4}, // 6 sets, not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config accepted: %+v", c)
+		}
+	}
+}
+
+func seg(start int, insts ...SegInst) *Segment {
+	if len(insts) == 0 {
+		insts = []SegInst{alu(start)}
+	}
+	return &Segment{Start: start, Insts: insts}
+}
+
+func TestTraceCacheLookupInsert(t *testing.T) {
+	tc := MustNewTraceCache(TraceCacheConfig{Entries: 16, Assoc: 2})
+	if tc.Lookup(5) != nil {
+		t.Error("cold lookup hit")
+	}
+	s := seg(5)
+	tc.Insert(s)
+	if got := tc.Lookup(5); got != s {
+		t.Error("lookup after insert missed")
+	}
+	st := tc.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTraceCacheNoPathAssociativity(t *testing.T) {
+	tc := MustNewTraceCache(TraceCacheConfig{Entries: 16, Assoc: 2})
+	s1 := seg(5, alu(5), br(6, 50, true))
+	s2 := seg(5, alu(5), br(6, 50, false))
+	tc.Insert(s1)
+	tc.Insert(s2)
+	if got := tc.Lookup(5); got != s2 {
+		t.Error("same-start insert must replace (no path associativity)")
+	}
+	if tc.Stats().Overwrites != 1 {
+		t.Errorf("overwrites = %d, want 1", tc.Stats().Overwrites)
+	}
+}
+
+func TestTraceCacheLRUEviction(t *testing.T) {
+	tc := MustNewTraceCache(TraceCacheConfig{Entries: 4, Assoc: 2}) // 2 sets
+	// starts 0, 2, 4 map to set 0.
+	a, b, c := seg(0), seg(2), seg(4)
+	tc.Insert(a)
+	tc.Insert(b)
+	tc.Lookup(0) // refresh a
+	tc.Insert(c) // evicts b
+	if tc.Lookup(0) == nil {
+		t.Error("MRU segment evicted")
+	}
+	if tc.Lookup(2) != nil {
+		t.Error("LRU segment survived")
+	}
+	if tc.Lookup(4) == nil {
+		t.Error("inserted segment missing")
+	}
+	if tc.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", tc.Stats().Evictions)
+	}
+}
+
+func TestTraceCacheInvalidatePromoted(t *testing.T) {
+	tc := MustNewTraceCache(TraceCacheConfig{Entries: 16, Assoc: 2})
+	p := br(7, 2, true)
+	p.Promoted = true
+	with := seg(6, alu(6), p)
+	without := seg(30, alu(30), br(31, 0, true))
+	tc.Insert(with)
+	tc.Insert(without)
+	if n := tc.InvalidatePromoted(7); n != 1 {
+		t.Errorf("invalidated %d, want 1", n)
+	}
+	if tc.Lookup(6) != nil {
+		t.Error("segment with promoted branch survived")
+	}
+	if tc.Lookup(30) == nil {
+		t.Error("unrelated segment invalidated")
+	}
+	if tc.Stats().Demotions != 1 {
+		t.Errorf("demotions = %d", tc.Stats().Demotions)
+	}
+}
+
+func TestTraceCacheReset(t *testing.T) {
+	tc := MustNewTraceCache(TraceCacheConfig{Entries: 16, Assoc: 2})
+	tc.Insert(seg(1))
+	tc.Reset()
+	if tc.Lookup(1) != nil {
+		t.Error("segment survived reset")
+	}
+	if st := tc.Stats(); st.Lookups != 1 || st.Inserts != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestTraceCacheHitRate(t *testing.T) {
+	var st TraceCacheStats
+	if st.HitRate() != 0 {
+		t.Error("empty hit rate")
+	}
+	st = TraceCacheStats{Lookups: 4, Hits: 3}
+	if st.HitRate() != 0.75 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}

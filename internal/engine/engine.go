@@ -1,0 +1,415 @@
+// Package engine implements the execution core of the paper's machine
+// (Section 3): 16 universal functional units fed from 64-entry reservation
+// stations (node tables), dataflow wakeup/select scheduling, a
+// conservative memory scheduler in which no load may bypass a store with
+// an unknown address — plus the oracle ("perfect disambiguation")
+// scheduler of Section 6 — with store-to-load forwarding and a data cache
+// hierarchy.
+//
+// The engine tracks timing only; instruction semantics are executed by the
+// simulator against internal/exec state at dispatch. Squash is O(1):
+// every cross-instruction reference carries the target's dispatch epoch
+// and is validated lazily.
+package engine
+
+import (
+	"container/heap"
+
+	"tracecache/internal/cache"
+)
+
+// Config parameterises the core.
+type Config struct {
+	FUs        int  // functional units (paper: 16, each capable of all ops)
+	RSPerFU    int  // reservation station entries per unit (paper: 64)
+	MemOracle  bool // perfect memory disambiguation (Section 6)
+	DCacheHit  int  // L1 data cache hit latency
+	ForwardLat int  // store-to-load forwarding latency
+}
+
+// DefaultConfig returns the paper's execution core.
+func DefaultConfig() Config {
+	return Config{FUs: 16, RSPerFU: 64, DCacheHit: 1, ForwardLat: 1}
+}
+
+// Window returns the instruction window capacity.
+func (c Config) Window() int { return c.FUs * c.RSPerFU }
+
+// ref is an epoch-validated reference to an in-flight instruction.
+type ref struct {
+	seq uint64
+	ep  uint32
+}
+
+// event kinds in the time-bucket ring.
+const (
+	evComplete uint8 = iota // instruction finishes execution
+	evReady                 // instruction becomes eligible for scheduling
+)
+
+type event struct {
+	ref  ref
+	kind uint8
+}
+
+type inst struct {
+	seq      uint64
+	ep       uint32
+	live     bool
+	done     bool
+	started  bool // handed to a functional unit
+	memDone  bool // loads: memory phase scheduled
+	isLoad   bool
+	isStore  bool
+	addr     uint64
+	latency  int
+	depCount int
+	deps     []ref // instructions waiting on this one's result
+	doneAt   uint64
+}
+
+// seqHeap is a min-heap of refs ordered by seq (oldest first).
+type seqHeap []ref
+
+func (h seqHeap) Len() int            { return len(h) }
+func (h seqHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(ref)) }
+func (h *seqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// bucketRing must exceed the longest scheduling horizon: schedule (1) +
+// divide (12) + L2 (6) + memory (50) with slack.
+const bucketRing = 128
+
+// Engine is the timing model of the execution core.
+type Engine struct {
+	cfg   Config
+	hier  *cache.Hierarchy
+	insts []inst
+	mask  uint64
+	head  uint64 // oldest unretired seq
+	tail  uint64 // next seq to dispatch
+
+	cycle        uint64
+	buckets      [bucketRing][]event
+	ready        seqHeap
+	pendingStore seqHeap // conservative: stores with unresolved addresses
+	blockedLoads seqHeap // loads held by the memory scheduler
+	storesByAddr map[uint64][]ref
+
+	stats Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Dispatched   uint64
+	Executed     uint64
+	Squashed     uint64
+	LoadsBlocked uint64 // loads delayed by the conservative scheduler
+	Forwards     uint64 // store-to-load forwards
+}
+
+// New builds an engine over the given data-cache hierarchy.
+func New(cfg Config, hier *cache.Hierarchy) *Engine {
+	size := 1
+	for size < 2*cfg.Window() {
+		size <<= 1
+	}
+	return &Engine{
+		cfg:          cfg,
+		hier:         hier,
+		insts:        make([]inst, size),
+		mask:         uint64(size - 1),
+		storesByAddr: make(map[uint64][]ref),
+	}
+}
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) slot(seq uint64) *inst { return &e.insts[seq&e.mask] }
+
+// valid reports whether a reference still names a live instruction.
+func (e *Engine) valid(r ref) *inst {
+	in := e.slot(r.seq)
+	if in.live && in.seq == r.seq && in.ep == r.ep {
+		return in
+	}
+	return nil
+}
+
+// InFlight returns the number of occupied window slots.
+func (e *Engine) InFlight() int { return int(e.tail - e.head) }
+
+// SpaceFor reports whether n more instructions fit in the window.
+func (e *Engine) SpaceFor(n int) bool { return e.InFlight()+n <= e.cfg.Window() }
+
+// IsDone reports whether the instruction has finished executing.
+func (e *Engine) IsDone(seq uint64) bool {
+	in := e.slot(seq)
+	return in.live && in.seq == seq && in.done
+}
+
+// DoneAt returns the completion cycle of a done instruction.
+func (e *Engine) DoneAt(seq uint64) uint64 { return e.slot(seq).doneAt }
+
+// NextSeq returns the sequence number the next Dispatch will use.
+func (e *Engine) NextSeq() uint64 { return e.tail }
+
+// Dispatch enters an instruction into the window at the current cycle and
+// returns its sequence number. srcs lists the sequence numbers of the
+// producing instructions still possibly in flight; isLoad/isStore and addr
+// describe memory behaviour; latency is the functional-unit latency.
+func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, latency int) uint64 {
+	seq := e.tail
+	e.tail++
+	in := e.slot(seq)
+	in.ep++
+	*in = inst{
+		seq: seq, ep: in.ep, live: true,
+		isLoad: isLoad, isStore: isStore, addr: addr, latency: latency,
+		deps: in.deps[:0],
+	}
+	e.stats.Dispatched++
+	r := ref{seq: seq, ep: in.ep}
+	for _, s := range srcs {
+		if s >= e.head && s < seq {
+			if p := e.valid(ref{seq: s, ep: e.slot(s).ep}); p != nil && !p.done {
+				p.deps = append(p.deps, r)
+				in.depCount++
+			}
+		}
+	}
+	if isStore {
+		heap.Push(&e.pendingStore, r)
+		e.storesByAddr[addr] = append(e.storesByAddr[addr], r)
+	}
+	if in.depCount == 0 {
+		e.schedule(ref{seq: seq, ep: in.ep}, e.cycle+1, evReady)
+	}
+	return seq
+}
+
+// schedule queues an event at the given cycle.
+func (e *Engine) schedule(r ref, at uint64, kind uint8) {
+	if at <= e.cycle {
+		at = e.cycle + 1
+	}
+	if at-e.cycle >= bucketRing {
+		at = e.cycle + bucketRing - 1 // defensive clamp; cannot occur with paper latencies
+	}
+	e.buckets[at%bucketRing] = append(e.buckets[at%bucketRing], event{ref: r, kind: kind})
+}
+
+// minUnresolvedStore returns the oldest in-flight store whose address is
+// not yet resolved, or ^0 when none.
+func (e *Engine) minUnresolvedStore() uint64 {
+	for e.pendingStore.Len() > 0 {
+		r := e.pendingStore[0]
+		in := e.valid(r)
+		if in == nil || in.done {
+			heap.Pop(&e.pendingStore)
+			continue
+		}
+		return r.seq
+	}
+	return ^uint64(0)
+}
+
+// olderStore returns the youngest in-flight same-address store older than
+// the load, pruning dead references as it goes.
+func (e *Engine) olderStore(addr uint64, loadSeq uint64) *inst {
+	list := e.storesByAddr[addr]
+	// Prune retired prefix and squashed suffix lazily.
+	for len(list) > 0 {
+		if e.valid(list[0]) == nil {
+			list = list[1:]
+			continue
+		}
+		break
+	}
+	n := len(list)
+	for n > 0 && e.valid(list[n-1]) == nil {
+		n--
+	}
+	list = list[:n]
+	if len(list) == 0 {
+		delete(e.storesByAddr, addr)
+		return nil
+	}
+	e.storesByAddr[addr] = list
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].seq >= loadSeq {
+			continue
+		}
+		// Slot reuse can leave dead references mid-list; skip them.
+		if in := e.valid(list[i]); in != nil {
+			return in
+		}
+	}
+	return nil
+}
+
+// startMemPhase begins a load's memory access (after AGEN and once the
+// memory scheduler allows), scheduling its completion.
+func (e *Engine) startMemPhase(in *inst) {
+	in.memDone = true
+	r := ref{seq: in.seq, ep: in.ep}
+	if st := e.olderStore(in.addr, in.seq); st != nil {
+		e.stats.Forwards++
+		if st.done {
+			e.schedule(r, e.cycle+uint64(e.cfg.ForwardLat), evComplete)
+		} else {
+			// Wait for the store's data, then forward.
+			st.deps = append(st.deps, r)
+			in.depCount = -1 // sentinel: completion via forward wake
+		}
+		return
+	}
+	lat := uint64(e.cfg.DCacheHit + e.hier.AccessData(in.addr))
+	e.schedule(r, e.cycle+lat, evComplete)
+}
+
+// tryStartLoads releases blocked loads permitted by the memory scheduler.
+func (e *Engine) tryStartLoads() {
+	if e.blockedLoads.Len() == 0 {
+		return
+	}
+	minStore := e.minUnresolvedStore()
+	for e.blockedLoads.Len() > 0 {
+		r := e.blockedLoads[0]
+		in := e.valid(r)
+		if in == nil || in.memDone {
+			heap.Pop(&e.blockedLoads)
+			continue
+		}
+		if r.seq > minStore {
+			return // oldest blocked load still cannot bypass
+		}
+		heap.Pop(&e.blockedLoads)
+		e.startMemPhase(in)
+	}
+}
+
+// complete finishes an instruction and wakes its dependents.
+func (e *Engine) complete(in *inst) {
+	if in.done {
+		return
+	}
+	in.done = true
+	in.doneAt = e.cycle
+	e.stats.Executed++
+	for _, d := range in.deps {
+		w := e.valid(d)
+		if w == nil || w.done {
+			continue
+		}
+		if w.depCount == -1 {
+			// A load waiting on this store's data: forward.
+			e.schedule(d, e.cycle+uint64(e.cfg.ForwardLat), evComplete)
+			continue
+		}
+		w.depCount--
+		if w.depCount == 0 && !w.started {
+			e.schedule(d, e.cycle+1, evReady)
+		}
+	}
+	in.deps = in.deps[:0]
+	if in.isStore {
+		// Address now resolved; blocked loads may proceed.
+		e.tryStartLoads()
+	}
+}
+
+// execute hands an instruction to a functional unit at the current cycle.
+func (e *Engine) execute(in *inst) {
+	in.started = true
+	r := ref{seq: in.seq, ep: in.ep}
+	if !in.isLoad {
+		e.schedule(r, e.cycle+uint64(in.latency), evComplete)
+		return
+	}
+	// Loads: AGEN takes the unit latency; then the memory scheduler rules.
+	if !e.cfg.MemOracle && e.minUnresolvedStore() < in.seq {
+		e.stats.LoadsBlocked++
+		heap.Push(&e.blockedLoads, r)
+		return
+	}
+	e.startMemPhase(in)
+}
+
+// Tick advances the engine one cycle and returns the sequence numbers of
+// instructions that completed execution this cycle, in ascending order.
+func (e *Engine) Tick(cycle uint64) []uint64 {
+	e.cycle = cycle
+	var completed []uint64
+	bucket := e.buckets[cycle%bucketRing]
+	e.buckets[cycle%bucketRing] = bucket[:0:0]
+	for _, ev := range bucket {
+		in := e.valid(ev.ref)
+		if in == nil {
+			continue
+		}
+		switch ev.kind {
+		case evComplete:
+			if !in.done {
+				e.complete(in)
+				completed = append(completed, in.seq)
+			}
+		case evReady:
+			if !in.started && !in.done {
+				heap.Push(&e.ready, ev.ref)
+			}
+		}
+	}
+	// Memory scheduler: re-examine blocked loads (store resolution may
+	// have happened via completions above).
+	e.tryStartLoads()
+	// Select: each functional unit starts the oldest ready instruction.
+	for fu := 0; fu < e.cfg.FUs && e.ready.Len() > 0; {
+		r := heap.Pop(&e.ready).(ref)
+		in := e.valid(r)
+		if in == nil || in.started || in.done {
+			continue
+		}
+		e.execute(in)
+		fu++
+	}
+	return completed
+}
+
+// Squash removes every instruction with seq >= from. References from
+// surviving instructions are invalidated lazily via epochs.
+func (e *Engine) Squash(from uint64) {
+	if from >= e.tail {
+		return
+	}
+	for s := from; s < e.tail; s++ {
+		in := e.slot(s)
+		if in.live && in.seq == s {
+			in.live = false
+			e.stats.Squashed++
+		}
+	}
+	e.tail = from
+}
+
+// Retire releases the oldest instruction, which must be done. The caller
+// enforces in-order retirement.
+func (e *Engine) Retire(seq uint64) {
+	in := e.slot(seq)
+	if seq != e.head || !in.live || in.seq != seq || !in.done {
+		panic("engine: out-of-order or premature retire")
+	}
+	in.live = false
+	e.head = seq + 1
+}

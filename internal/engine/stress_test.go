@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEngineLivenessUnderRandomTraffic drives the engine with randomized
+// dispatch, squash and retire traffic and checks the liveness invariant:
+// every instruction that is dispatched and never squashed eventually
+// completes and retires, and the window never leaks slots.
+func TestEngineLivenessUnderRandomTraffic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig()
+	cfg.FUs = 4
+	cfg.RSPerFU = 8
+	e := New(cfg, testHier())
+
+	var (
+		cycle      uint64
+		retireSeq  uint64
+		dispatched int
+		retired    int
+	)
+	alive := map[uint64]bool{}
+	for step := 0; step < 20000; step++ {
+		cycle++
+		e.Tick(cycle)
+		// Retire completed instructions in order.
+		for e.InFlight() > 0 && e.IsDone(retireSeq) {
+			e.Retire(retireSeq)
+			delete(alive, retireSeq)
+			retireSeq++
+			retired++
+		}
+		switch r := rnd.Intn(100); {
+		case r < 55 && e.SpaceFor(1):
+			// Dispatch with random deps on recent instructions.
+			var srcs []uint64
+			next := e.NextSeq()
+			for i := 0; i < rnd.Intn(3); i++ {
+				if next > 0 {
+					back := uint64(rnd.Intn(8) + 1)
+					if back <= next {
+						srcs = append(srcs, next-back)
+					}
+				}
+			}
+			isLoad := r%7 == 0
+			isStore := !isLoad && r%5 == 0
+			lat := 1 + rnd.Intn(3)
+			seq := e.Dispatch(srcs, isLoad, isStore, uint64(rnd.Intn(64))*8, lat)
+			alive[seq] = true
+			dispatched++
+		case r < 60 && e.InFlight() > 0:
+			// Squash a random suffix.
+			span := e.NextSeq() - retireSeq
+			if span > 0 {
+				from := retireSeq + uint64(rnd.Intn(int(span)))
+				if from == retireSeq {
+					from++ // keep at least the oldest (mirrors branch recovery)
+				}
+				if from < e.NextSeq() {
+					e.Squash(from)
+					for s := range alive {
+						if s >= from {
+							delete(alive, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Drain: everything alive must complete within a bounded horizon.
+	for i := 0; i < 500 && e.InFlight() > 0; i++ {
+		cycle++
+		e.Tick(cycle)
+		for e.InFlight() > 0 && e.IsDone(retireSeq) {
+			e.Retire(retireSeq)
+			delete(alive, retireSeq)
+			retireSeq++
+			retired++
+		}
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("engine wedged: %d in flight, oldest seq %d, alive %d",
+			e.InFlight(), retireSeq, len(alive))
+	}
+	if len(alive) != 0 {
+		t.Fatalf("%d instructions lost", len(alive))
+	}
+	if retired == 0 || dispatched == 0 {
+		t.Fatal("stress produced no traffic")
+	}
+	t.Logf("dispatched %d, retired %d, squashed %d", dispatched, retired, e.Stats().Squashed)
+}
+
+// TestEngineOracleLivenessUnderRandomTraffic repeats the stress with the
+// perfect-disambiguation scheduler.
+func TestEngineOracleLivenessUnderRandomTraffic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig()
+	cfg.FUs = 2
+	cfg.RSPerFU = 16
+	cfg.MemOracle = true
+	e := New(cfg, testHier())
+	var cycle, retireSeq uint64
+	for step := 0; step < 8000; step++ {
+		cycle++
+		e.Tick(cycle)
+		for e.InFlight() > 0 && e.IsDone(retireSeq) {
+			e.Retire(retireSeq)
+			retireSeq++
+		}
+		if e.SpaceFor(1) && rnd.Intn(2) == 0 {
+			var srcs []uint64
+			if n := e.NextSeq(); n > retireSeq {
+				srcs = append(srcs, retireSeq+uint64(rnd.Intn(int(n-retireSeq))))
+			}
+			e.Dispatch(srcs, rnd.Intn(3) == 0, rnd.Intn(4) == 0, uint64(rnd.Intn(32))*8, 1+rnd.Intn(12))
+		}
+	}
+	for i := 0; i < 500 && e.InFlight() > 0; i++ {
+		cycle++
+		e.Tick(cycle)
+		for e.InFlight() > 0 && e.IsDone(retireSeq) {
+			e.Retire(retireSeq)
+			retireSeq++
+		}
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("oracle engine wedged with %d in flight", e.InFlight())
+	}
+}

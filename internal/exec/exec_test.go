@@ -1,0 +1,497 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+)
+
+func buildLoop(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("loop")
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 5}) // r1 = 5
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 2, Imm: 0}) // r2 = 0
+	b.Here("loop")
+	b.Emit(isa.Inst{Op: isa.OpAdd, Rd: 2, Rs1: 2, Rs2: 1}) // r2 += r1
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: -1})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: 1, Rs2: 0}, "loop")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunLoopComputesSum(t *testing.T) {
+	p := buildLoop(t)
+	s := NewState(p)
+	steps, halted := s.Run(1000)
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	if s.Regs[2] != 5+4+3+2+1 {
+		t.Errorf("r2 = %d, want 15", s.Regs[2])
+	}
+	if steps == 0 || steps > 1000 {
+		t.Errorf("steps = %d", steps)
+	}
+}
+
+func TestRunRespectsLimit(t *testing.T) {
+	b := program.NewBuilder("spin")
+	b.Here("top")
+	b.EmitTo(isa.Inst{Op: isa.OpJmp}, "top")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("top")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	steps, halted := s.Run(100)
+	if halted || steps != 100 {
+		t.Errorf("steps=%d halted=%v, want 100,false", steps, halted)
+	}
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b int64
+		want int64
+	}{
+		{isa.OpAdd, 3, 4, 7},
+		{isa.OpSub, 3, 4, -1},
+		{isa.OpMul, 3, 4, 12},
+		{isa.OpDiv, 12, 4, 3},
+		{isa.OpDiv, 12, 0, 0}, // division by zero is defined as 0
+		{isa.OpAnd, 0b1100, 0b1010, 0b1000},
+		{isa.OpOr, 0b1100, 0b1010, 0b1110},
+		{isa.OpXor, 0b1100, 0b1010, 0b0110},
+		{isa.OpShl, 1, 4, 16},
+		{isa.OpShr, 16, 4, 1},
+		{isa.OpShl, 1, 64 + 2, 4}, // shift amounts are masked to 6 bits
+	}
+	for _, c := range cases {
+		b := program.NewBuilder("alu")
+		b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: c.a})
+		b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 2, Imm: c.b})
+		b.Emit(isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2})
+		b.Emit(isa.Inst{Op: isa.OpHalt})
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewState(p)
+		s.Run(10)
+		if s.Regs[3] != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, s.Regs[3], c.want)
+		}
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	b := program.NewBuilder("imm")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 10})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 2, Rs1: 1, Imm: 5})
+	b.Emit(isa.Inst{Op: isa.OpMulI, Rd: 3, Rs1: 1, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.OpAndI, Rd: 4, Rs1: 1, Imm: 8})
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.Run(10)
+	if s.Regs[2] != 15 || s.Regs[3] != 30 || s.Regs[4] != 8 {
+		t.Errorf("regs = %d %d %d", s.Regs[2], s.Regs[3], s.Regs[4])
+	}
+}
+
+func TestZeroRegisterIsConstant(t *testing.T) {
+	b := program.NewBuilder("zero")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 0, Imm: 99})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 0, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.Run(10)
+	if s.Regs[0] != 0 {
+		t.Errorf("r0 = %d, want 0", s.Regs[0])
+	}
+	if s.Regs[1] != 1 {
+		t.Errorf("r1 = %d, want 1", s.Regs[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	b := program.NewBuilder("mem")
+	b.Word(0x1000, 7)
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 0x1000})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Rd: 2, Rs1: 1})            // r2 = mem[0x1000] = 7
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 3, Rs1: 2, Imm: 1})    // r3 = 8
+	b.Emit(isa.Inst{Op: isa.OpStore, Rs1: 1, Rs2: 3, Imm: 8})  // mem[0x1008] = 8
+	b.Emit(isa.Inst{Op: isa.OpLoad, Rd: 4, Rs1: 1, Imm: 8})    // r4 = 8
+	b.Emit(isa.Inst{Op: isa.OpLoad, Rd: 5, Rs1: 1, Imm: 4096}) // unmapped = 0
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.Run(10)
+	if s.Regs[2] != 7 || s.Regs[4] != 8 || s.Regs[5] != 0 {
+		t.Errorf("r2=%d r4=%d r5=%d", s.Regs[2], s.Regs[4], s.Regs[5])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := program.NewBuilder("call")
+	b.Here("main")
+	b.EmitTo(isa.Inst{Op: isa.OpCall}, "fn")
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 2, Rs1: 1, Imm: 1}) // after return: r2 = r1+1
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Here("fn")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 41})
+	b.Emit(isa.Inst{Op: isa.OpRet})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	_, halted := s.Run(100)
+	if !halted || s.Regs[2] != 42 {
+		t.Errorf("halted=%v r2=%d", halted, s.Regs[2])
+	}
+	if s.CallDepth() != 0 {
+		t.Errorf("call depth = %d, want 0", s.CallDepth())
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	b := program.NewBuilder("ind")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 0x2000})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Rd: 2, Rs1: 1}) // r2 = target
+	b.Emit(isa.Inst{Op: isa.OpJmpInd, Rs1: 2})
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 3, Imm: 1}) // skipped
+	b.Here("dest")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 4, Imm: 2})
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Word(0x2000, 4) // instruction index of "dest"
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.Run(100)
+	if s.Regs[3] != 0 || s.Regs[4] != 2 {
+		t.Errorf("r3=%d r4=%d", s.Regs[3], s.Regs[4])
+	}
+}
+
+func TestStepAtWrongPathSafety(t *testing.T) {
+	p := buildLoop(t)
+	s := NewState(p)
+	// Off-image PC must not panic and must fall through.
+	info := s.StepAt(len(p.Code) + 10)
+	if !info.OffImage || info.NextPC != len(p.Code)+11 {
+		t.Errorf("off-image step = %+v", info)
+	}
+	info = s.StepAt(-3)
+	if !info.OffImage {
+		t.Errorf("negative step = %+v", info)
+	}
+	// Unbalanced return falls through.
+	b := program.NewBuilder("ret")
+	b.Emit(isa.Inst{Op: isa.OpRet})
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	rp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := NewState(rp)
+	ri := rs.StepAt(0)
+	if ri.NextPC != 1 {
+		t.Errorf("unbalanced ret NextPC = %d, want 1", ri.NextPC)
+	}
+}
+
+func TestCheckpointRollbackRegisters(t *testing.T) {
+	p := buildLoop(t)
+	s := NewState(p)
+	s.writeReg(1, 100)
+	sn := s.Checkpoint()
+	s.writeReg(1, 200)
+	s.writeReg(2, 300)
+	s.Rollback(sn)
+	if s.Regs[1] != 100 || s.Regs[2] != 0 {
+		t.Errorf("after rollback r1=%d r2=%d", s.Regs[1], s.Regs[2])
+	}
+	// Writes to r0 are discarded and not logged.
+	s.writeReg(0, 7)
+	if s.Regs[0] != 0 {
+		t.Error("r0 written")
+	}
+}
+
+func TestCheckpointRollbackMemory(t *testing.T) {
+	b := program.NewBuilder("m")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.writeMem(0x100, 1)
+	sn := s.Checkpoint()
+	s.writeMem(0x100, 2)
+	s.writeMem(0x108, 3)
+	s.writeMem(0x100, 4)
+	s.Rollback(sn)
+	if got := s.Mem().Read(0x100); got != 1 {
+		t.Errorf("mem[0x100] = %d, want 1", got)
+	}
+	if got := s.Mem().Read(0x108); got != 0 {
+		t.Errorf("mem[0x108] = %d, want 0", got)
+	}
+}
+
+func TestNestedCheckpoints(t *testing.T) {
+	b := program.NewBuilder("m")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.writeMem(0x0, 1)
+	sn1 := s.Checkpoint()
+	s.writeMem(0x0, 2)
+	sn2 := s.Checkpoint()
+	s.writeMem(0x0, 3)
+	s.Rollback(sn2)
+	if got := s.Mem().Read(0); got != 2 {
+		t.Errorf("after inner rollback mem = %d, want 2", got)
+	}
+	s.Rollback(sn1)
+	if got := s.Mem().Read(0); got != 1 {
+		t.Errorf("after outer rollback mem = %d, want 1", got)
+	}
+}
+
+func TestRollbackRestoresCallStack(t *testing.T) {
+	b := program.NewBuilder("c")
+	b.Here("main")
+	b.EmitTo(isa.Inst{Op: isa.OpCall}, "fn")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Here("fn")
+	b.Emit(isa.Inst{Op: isa.OpRet})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	s.StepAt(0) // call: depth 1
+	sn := s.Checkpoint()
+	s.StepAt(2) // ret: depth 0
+	if s.CallDepth() != 0 {
+		t.Fatalf("depth after ret = %d", s.CallDepth())
+	}
+	s.Rollback(sn)
+	if s.CallDepth() != 1 {
+		t.Errorf("depth after rollback = %d, want 1", s.CallDepth())
+	}
+	// Re-execute the return; it must pop the restored entry.
+	info := s.StepAt(2)
+	if info.NextPC != 1 {
+		t.Errorf("ret NextPC = %d, want 1", info.NextPC)
+	}
+}
+
+func TestReleaseBeforeTrimsUndo(t *testing.T) {
+	b := program.NewBuilder("m")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(p)
+	for i := 0; i < 100; i++ {
+		s.writeMem(uint64(i*8), int64(i))
+	}
+	sn := s.Checkpoint()
+	s.writeMem(0x5000, 1)
+	s.ReleaseBefore(sn)
+	if s.UndoLen() != 1 {
+		t.Errorf("undo len = %d, want 1", s.UndoLen())
+	}
+	// Rollback to the surviving checkpoint must still work.
+	s.Rollback(sn)
+	if got := s.Mem().Read(0x5000); got != 0 {
+		t.Errorf("mem = %d, want 0", got)
+	}
+	if got := s.Mem().Read(8 * 50); got != 50 {
+		t.Errorf("released history disturbed: mem = %d, want 50", got)
+	}
+}
+
+// Property: a rollback after an arbitrary sequence of stores restores every
+// touched address exactly.
+func TestRollbackProperty(t *testing.T) {
+	b := program.NewBuilder("m")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addrs []uint16, vals []int64) bool {
+		s := NewState(p)
+		// Pre-populate some state.
+		s.writeMem(0x10, 111)
+		before := map[uint64]int64{0x10: 111}
+		sn := s.Checkpoint()
+		n := len(addrs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		touched := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			a := uint64(addrs[i]) &^ 7
+			touched[a] = true
+			s.writeMem(a, vals[i])
+		}
+		s.Rollback(sn)
+		for a := range touched {
+			if s.Mem().Read(a) != before[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryAlignment(t *testing.T) {
+	m := NewMemory()
+	m.Write(17, 5) // aligns down to 16
+	if m.Read(16) != 5 || m.Read(23) != 5 {
+		t.Error("unaligned access must alias the containing word")
+	}
+	if m.Read(24) != 0 {
+		t.Error("adjacent word must be independent")
+	}
+}
+
+func TestMemoryZeroWriteDoesNotAllocate(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x100000, 0)
+	if m.Pages() != 0 {
+		t.Errorf("pages = %d, want 0", m.Pages())
+	}
+	m.Write(0x100000, 1)
+	if m.Pages() != 1 {
+		t.Errorf("pages = %d, want 1", m.Pages())
+	}
+}
+
+func TestTraceStreamsSteps(t *testing.T) {
+	p := buildLoop(t)
+	var condBranches, taken int
+	steps, halted := Trace(p, 10000, func(si StepInfo) bool {
+		if si.Inst.IsCondBranch() {
+			condBranches++
+			if si.Taken {
+				taken++
+			}
+		}
+		return true
+	})
+	if !halted {
+		t.Fatal("trace did not reach halt")
+	}
+	if condBranches != 5 || taken != 4 {
+		t.Errorf("branches=%d taken=%d, want 5 taken 4", condBranches, taken)
+	}
+	if steps == 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestTraceEarlyStop(t *testing.T) {
+	p := buildLoop(t)
+	n := 0
+	steps, halted := Trace(p, 10000, func(StepInfo) bool {
+		n++
+		return n < 3
+	})
+	if halted || steps != 3 {
+		t.Errorf("steps=%d halted=%v", steps, halted)
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	p := buildLoop(t)
+	s := NewState(p)
+	if s.Program() != p {
+		t.Error("Program accessor")
+	}
+	s.StepAt(0)
+	if s.Steps() != 1 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestRollbackBelowReleaseMarkClamps(t *testing.T) {
+	p := buildLoop(t)
+	s := NewState(p)
+	s.writeMem(0, 1)
+	early := s.Checkpoint()
+	s.writeMem(0, 2)
+	late := s.Checkpoint()
+	s.ReleaseBefore(late)
+	// Rolling back to a released snapshot clamps at the release point
+	// rather than corrupting the log.
+	s.Rollback(early)
+	if got := s.Mem().Read(0); got != 2 {
+		t.Errorf("mem = %d, want 2 (history released)", got)
+	}
+	// ReleaseBefore past the end is also safe.
+	s.writeMem(0, 3)
+	s.ReleaseBefore(Snapshot{undoMark: 1 << 40})
+	if s.UndoLen() != 0 {
+		t.Errorf("undo = %d", s.UndoLen())
+	}
+}
+
+func TestTraceUndoTrimming(t *testing.T) {
+	// A long trace must not accumulate unbounded undo history.
+	b := program.NewBuilder("longstore")
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 1 << 20})
+	b.Here("loop")
+	b.Emit(isa.Inst{Op: isa.OpStore, Rs1: 2, Rs2: 1})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: -1})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: 1, Rs2: 0}, "loop")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, _ := Trace(p, 400_000, func(StepInfo) bool { return true })
+	if steps != 400_000 {
+		t.Errorf("steps = %d", steps)
+	}
+}

@@ -1,0 +1,55 @@
+// Package exec implements the architectural instruction-set simulator: a
+// paged data memory, a register file, single-instruction semantics, and
+// checkpoint/rollback so the timing model can execute speculatively (wrong
+// path included) and recover on mispredictions and promoted-branch faults.
+package exec
+
+// pageWords is the number of 8-byte words per memory page.
+const pageWords = 512
+
+// pageShift converts a word index to a page number.
+const pageShift = 9 // log2(pageWords)
+
+// Memory is a sparse, paged, word-granular data memory. Addresses are byte
+// addresses; accesses are 8-byte words and are aligned down to 8 bytes.
+// Reads of unmapped memory return zero without allocating.
+type Memory struct {
+	pages map[uint64]*[pageWords]int64
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageWords]int64)}
+}
+
+func split(addr uint64) (page, offset uint64) {
+	w := addr >> 3 // word index
+	return w >> pageShift, w & (pageWords - 1)
+}
+
+// Read returns the word at addr (aligned down to 8 bytes).
+func (m *Memory) Read(addr uint64) int64 {
+	pg, off := split(addr)
+	p := m.pages[pg]
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// Write stores v at addr (aligned down to 8 bytes).
+func (m *Memory) Write(addr uint64, v int64) {
+	pg, off := split(addr)
+	p := m.pages[pg]
+	if p == nil {
+		if v == 0 {
+			return // writing zero to unmapped memory is a no-op
+		}
+		p = new([pageWords]int64)
+		m.pages[pg] = p
+	}
+	p[off] = v
+}
+
+// Pages returns the number of allocated pages (for footprint diagnostics).
+func (m *Memory) Pages() int { return len(m.pages) }

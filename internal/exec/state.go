@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+)
+
+// StepInfo records the architectural effects of executing one instruction.
+type StepInfo struct {
+	PC      int
+	Inst    isa.Inst
+	NextPC  int    // actual next PC on this execution path
+	Taken   bool   // conditional branch outcome
+	MemAddr uint64 // effective address for loads and stores
+	Value   int64  // value loaded or stored
+	Halted  bool   // instruction was a halt
+	// OffImage is set when pc was outside the code segment (possible only
+	// on the wrong path); the step is then a no-op falling through.
+	OffImage bool
+}
+
+// undo record kinds.
+const (
+	undoReg uint8 = iota
+	undoMem
+	undoPush // a call pushed; undo by popping
+	undoPop  // a return popped; undo by pushing old back
+)
+
+type undoRec struct {
+	kind uint8
+	reg  isa.Reg
+	addr uint64
+	old  int64
+}
+
+// State is the architectural machine state. The timing simulator executes
+// instructions against it in dispatch order — including down mispredicted
+// paths — and uses Checkpoint/Rollback to recover, mirroring the
+// checkpoint-repair execution core of the paper. Every architectural
+// mutation is undo-logged, so a Snapshot is just a log position and
+// checkpoints are O(1).
+type State struct {
+	prog      *program.Program
+	Regs      [isa.NumRegs]int64
+	mem       *Memory
+	callStack []int
+	undo      []undoRec
+	undoBase  uint64 // absolute index of undo[0]
+	steps     uint64
+}
+
+// NewState builds machine state for the program, loading its initial data
+// image.
+func NewState(p *program.Program) *State {
+	s := &State{prog: p, mem: NewMemory()}
+	for addr, v := range p.Data {
+		s.mem.Write(addr, v)
+	}
+	return s
+}
+
+// Program returns the program this state executes.
+func (s *State) Program() *program.Program { return s.prog }
+
+// Mem returns the data memory (for inspection in tests and examples).
+func (s *State) Mem() *Memory { return s.mem }
+
+// Steps returns the number of instructions executed, including speculative
+// ones that were later rolled back.
+func (s *State) Steps() uint64 { return s.steps }
+
+// CallDepth returns the current call-stack depth.
+func (s *State) CallDepth() int { return len(s.callStack) }
+
+func (s *State) writeReg(r isa.Reg, v int64) {
+	if r == isa.ZeroReg {
+		return
+	}
+	s.undo = append(s.undo, undoRec{kind: undoReg, reg: r, old: s.Regs[r]})
+	s.Regs[r] = v
+}
+
+func (s *State) writeMem(addr uint64, v int64) {
+	s.undo = append(s.undo, undoRec{kind: undoMem, addr: addr, old: s.mem.Read(addr)})
+	s.mem.Write(addr, v)
+}
+
+// StepAt executes the instruction at pc against the current state and
+// returns its effects. The caller decides what executes next; NextPC
+// reports where this execution path actually goes. StepAt never panics:
+// out-of-range PCs, division by zero, unmapped loads and unbalanced returns
+// are all well defined, because the timing model executes wrong-path
+// instructions.
+func (s *State) StepAt(pc int) StepInfo {
+	s.steps++
+	if pc < 0 || pc >= len(s.prog.Code) {
+		return StepInfo{PC: pc, NextPC: pc + 1, OffImage: true}
+	}
+	in := s.prog.Code[pc]
+	info := StepInfo{PC: pc, Inst: in, NextPC: pc + 1}
+	rv := func(r isa.Reg) int64 { return s.Regs[r] }
+	switch in.Op {
+	case isa.OpNop, isa.OpTrap:
+		// no architectural effect
+	case isa.OpAdd:
+		s.writeReg(in.Rd, rv(in.Rs1)+rv(in.Rs2))
+	case isa.OpSub:
+		s.writeReg(in.Rd, rv(in.Rs1)-rv(in.Rs2))
+	case isa.OpMul:
+		s.writeReg(in.Rd, rv(in.Rs1)*rv(in.Rs2))
+	case isa.OpDiv:
+		d := rv(in.Rs2)
+		if d == 0 {
+			s.writeReg(in.Rd, 0)
+		} else {
+			s.writeReg(in.Rd, rv(in.Rs1)/d)
+		}
+	case isa.OpAnd:
+		s.writeReg(in.Rd, rv(in.Rs1)&rv(in.Rs2))
+	case isa.OpOr:
+		s.writeReg(in.Rd, rv(in.Rs1)|rv(in.Rs2))
+	case isa.OpXor:
+		s.writeReg(in.Rd, rv(in.Rs1)^rv(in.Rs2))
+	case isa.OpShl:
+		s.writeReg(in.Rd, rv(in.Rs1)<<(uint64(rv(in.Rs2))&63))
+	case isa.OpShr:
+		s.writeReg(in.Rd, int64(uint64(rv(in.Rs1))>>(uint64(rv(in.Rs2))&63)))
+	case isa.OpAddI:
+		s.writeReg(in.Rd, rv(in.Rs1)+in.Imm)
+	case isa.OpMulI:
+		s.writeReg(in.Rd, rv(in.Rs1)*in.Imm)
+	case isa.OpAndI:
+		s.writeReg(in.Rd, rv(in.Rs1)&in.Imm)
+	case isa.OpShrI:
+		s.writeReg(in.Rd, int64(uint64(rv(in.Rs1))>>(uint64(in.Imm)&63)))
+	case isa.OpLoadI:
+		s.writeReg(in.Rd, in.Imm)
+	case isa.OpLoad:
+		addr := uint64(rv(in.Rs1)+in.Imm) &^ 7
+		v := s.mem.Read(addr)
+		s.writeReg(in.Rd, v)
+		info.MemAddr, info.Value = addr, v
+	case isa.OpStore:
+		addr := uint64(rv(in.Rs1)+in.Imm) &^ 7
+		v := rv(in.Rs2)
+		s.writeMem(addr, v)
+		info.MemAddr, info.Value = addr, v
+	case isa.OpBr:
+		info.Taken = in.Cond.Eval(rv(in.Rs1), rv(in.Rs2))
+		if info.Taken {
+			info.NextPC = in.Target
+		}
+	case isa.OpJmp:
+		info.NextPC = in.Target
+	case isa.OpCall:
+		s.undo = append(s.undo, undoRec{kind: undoPush})
+		s.callStack = append(s.callStack, pc+1)
+		info.NextPC = in.Target
+	case isa.OpRet:
+		if n := len(s.callStack); n > 0 {
+			top := s.callStack[n-1]
+			s.undo = append(s.undo, undoRec{kind: undoPop, old: int64(top)})
+			info.NextPC = top
+			s.callStack = s.callStack[:n-1]
+		} // unbalanced return (wrong path): fall through
+	case isa.OpJmpInd:
+		info.NextPC = int(rv(in.Rs1))
+	case isa.OpHalt:
+		info.Halted = true
+		info.NextPC = pc
+	}
+	return info
+}
+
+// Snapshot is a recoverable point in execution: a position in the undo
+// log. The timing model takes one per dispatched instruction, so recovery
+// can roll back to any instruction boundary.
+type Snapshot struct {
+	undoMark uint64 // absolute undo-log position
+}
+
+// Checkpoint captures the current state as an O(1) log position.
+func (s *State) Checkpoint() Snapshot {
+	return Snapshot{undoMark: s.undoBase + uint64(len(s.undo))}
+}
+
+// Rollback restores the state captured by the snapshot, undoing every
+// mutation performed since it was taken. The snapshot must not be older
+// than the last ReleaseBefore mark.
+func (s *State) Rollback(sn Snapshot) {
+	keep := int(sn.undoMark - s.undoBase)
+	if keep < 0 {
+		keep = 0
+	}
+	for i := len(s.undo) - 1; i >= keep; i-- {
+		u := s.undo[i]
+		switch u.kind {
+		case undoReg:
+			s.Regs[u.reg] = u.old
+		case undoMem:
+			s.mem.Write(u.addr, u.old)
+		case undoPush:
+			s.callStack = s.callStack[:len(s.callStack)-1]
+		case undoPop:
+			s.callStack = append(s.callStack, int(u.old))
+		}
+	}
+	s.undo = s.undo[:keep]
+}
+
+// ReleaseBefore discards undo history older than the snapshot, bounding
+// memory use. Call it when a snapshot can no longer be rolled back to (the
+// instruction that took it has retired).
+func (s *State) ReleaseBefore(sn Snapshot) {
+	drop := int(sn.undoMark - s.undoBase)
+	if drop <= 0 {
+		return
+	}
+	if drop > len(s.undo) {
+		drop = len(s.undo)
+	}
+	n := copy(s.undo, s.undo[drop:])
+	s.undo = s.undo[:n]
+	s.undoBase += uint64(drop)
+}
+
+// UndoLen returns the number of live undo records (for tests).
+func (s *State) UndoLen() int { return len(s.undo) }
+
+// Run executes sequentially from the entry point until halt or until limit
+// instructions have executed, returning the count and whether the program
+// halted. It is the non-speculative "oracle" execution used by workload
+// analysis and tests.
+func (s *State) Run(limit uint64) (steps uint64, halted bool) {
+	pc := s.prog.Entry
+	for steps < limit {
+		info := s.StepAt(pc)
+		steps++
+		// Sequential execution never rolls back; discard undo history but
+		// keep marks monotonic.
+		s.undoBase += uint64(len(s.undo))
+		s.undo = s.undo[:0]
+		if info.Halted {
+			return steps, true
+		}
+		pc = info.NextPC
+	}
+	return steps, false
+}
+
+// Trace executes sequentially from the program entry, invoking fn for each
+// retired instruction until fn returns false, the program halts, or limit
+// instructions have executed. It is used to analyse dynamic instruction
+// streams.
+func Trace(p *program.Program, limit uint64, fn func(StepInfo) bool) (steps uint64, halted bool) {
+	s := NewState(p)
+	pc := p.Entry
+	for steps < limit {
+		info := s.StepAt(pc)
+		steps++
+		if len(s.undo) > 1<<16 {
+			s.undoBase += uint64(len(s.undo))
+			s.undo = s.undo[:0]
+		}
+		if !fn(info) {
+			return steps, false
+		}
+		if info.Halted {
+			return steps, true
+		}
+		pc = info.NextPC
+	}
+	return steps, false
+}

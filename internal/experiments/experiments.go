@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tracecache/internal/config"
+	"tracecache/internal/core"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+	"tracecache/internal/textplot"
+	"tracecache/internal/workload"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises the result the paper reports, for side-by-side
+	// comparison in EXPERIMENTS.md.
+	Paper string
+	Run   func(*Runner) string
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Benchmarks", "15 SPECint95 + UNIX benchmarks, 41M-500M instructions each", Table1},
+		{"fig4", "Fetch width breakdown, gcc, baseline", "many fetches limited by the 3-branch limit; avg 9.64", Fig4},
+		{"table2", "Effective fetch rate vs promotion threshold", "icache 5.11, baseline 10.67, promotion 11.33-11.40 (+7% at t=64)", Table2},
+		{"fig6", "Fetch width breakdown, gcc, promotion t=64", "fewer MaxBR terminations; avg 10.24 (+6%)", Fig6},
+		{"fig7", "Mispredicted branches vs baseline (promotion)", "most benchmarks improve (gcc/go to ~80%); plot worsens from faults", Fig7},
+		{"table3", "Predictions needed per fetch", "baseline 54/18/28%; promotion t=64 85/12/3%", Table3},
+		{"fig9", "Effective fetch rate with trace packing", "+7% average over baseline", Fig9},
+		{"fig10", "Effective fetch rate, all techniques", "+17% for promotion+packing; superadditive on gcc, chess, plot, ss", Fig10},
+		{"table4", "Cache-miss cycles of packing regulation", "unreg +27-96%; regulation cuts it; tex worst; eff rates 12.18-12.47", Table4},
+		{"fig11", "IPC, realistic core", "promotion+packing +4% over baseline, +36% over icache", Fig11},
+		{"fig12", "Fetch cycle accounting", "most lost bandwidth from branch misses (except vortex)", Fig12},
+		{"fig13", "Cycles lost to mispredictions", "most benchmarks increase", Fig13},
+		{"fig14", "Mispredicted branches (promotion+packing)", "most benchmarks decrease", Fig14},
+		{"fig15", "Misprediction resolution time", "+8% average", Fig15},
+		{"fig16", "IPC, perfect memory disambiguation", "+11% over baseline, +63% over icache", Fig16},
+	}
+}
+
+// ByID returns the experiment with the given ID, searching the paper's
+// experiments and the extensions.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range append(All(), Extensions()...) {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment IDs in paper order.
+func IDs() []string {
+	es := All()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- table 1
+
+// Table1 reports the benchmark suite: the paper's instruction counts and
+// inputs alongside the synthetic stand-ins' static properties.
+func Table1(r *Runner) string {
+	rows := make([][]string, 0, 15)
+	for _, name := range workload.Names() {
+		prof, _ := workload.ByName(name)
+		p := r.prog(name)
+		st := p.Stats()
+		rows = append(rows, []string{
+			name,
+			prof.PaperInsts,
+			prof.PaperInput,
+			fmt.Sprintf("%d", len(p.Code)),
+			fmt.Sprintf("%.1f", st.MeanBlockSize()),
+			fmt.Sprintf("%.1f%%", 100*float64(st.CondBranches)/float64(st.Insts)),
+		})
+	}
+	return textplot.Table(
+		[]string{"Benchmark", "Paper Insts", "Paper Input", "Synth Code", "Blk Size", "CondBr"},
+		rows)
+}
+
+// ------------------------------------------------------- figures 4 and 6
+
+func fetchBreakdown(run *stats.Run) string {
+	var b strings.Builder
+	bySize := run.Hist.BySize()
+	labels := make([]string, len(bySize))
+	freqs := make([]float64, len(bySize))
+	for i := range bySize {
+		labels[i] = fmt.Sprintf("%2d", i)
+		freqs[i] = bySize[i]
+	}
+	b.WriteString(textplot.Histogram("Fetch size distribution (fraction of fetches)", labels, freqs, 50))
+	b.WriteString(fmt.Sprintf("\nAve fetch size %.2f\n\n", run.Hist.Mean()))
+	byEnd := run.Hist.ByEnd()
+	endLabels := make([]string, stats.NumFetchEnds)
+	endFreqs := make([]float64, stats.NumFetchEnds)
+	for e := stats.FetchEnd(0); e < stats.NumFetchEnds; e++ {
+		endLabels[e] = e.String()
+		endFreqs[e] = byEnd[e]
+	}
+	b.WriteString(textplot.Bars("Termination condition (fraction of fetches)", endLabels, endFreqs, 50))
+	return b.String()
+}
+
+// Fig4 is the fetch width breakdown for gcc under the baseline trace
+// cache.
+func Fig4(r *Runner) string {
+	run := r.Run(config.Baseline(), "gcc")
+	return "gcc, baseline 128KB trace cache\n\n" + fetchBreakdown(run)
+}
+
+// Fig6 is the fetch width breakdown for gcc with branch promotion at
+// threshold 64.
+func Fig6(r *Runner) string {
+	run := r.Run(config.Promotion(64), "gcc")
+	return "gcc, 128KB trace cache with branch promotion (threshold 64)\n\n" + fetchBreakdown(run)
+}
+
+// ---------------------------------------------------------------- table 2
+
+// Table2Thresholds are the promotion thresholds the paper sweeps.
+var Table2Thresholds = []uint32{8, 16, 32, 64, 128, 256}
+
+// Table2 reports the average effective fetch rate with and without branch
+// promotion.
+func Table2(r *Runner) string {
+	rows := [][]string{
+		{"icache", fmt.Sprintf("%.2f", r.AvgEffRate(config.ICache()))},
+		{"baseline", fmt.Sprintf("%.2f", r.AvgEffRate(config.Baseline()))},
+	}
+	for _, t := range Table2Thresholds {
+		rows = append(rows, []string{
+			fmt.Sprintf("threshold = %d", t),
+			fmt.Sprintf("%.2f", r.AvgEffRate(config.Promotion(t))),
+		})
+	}
+	return textplot.Table([]string{"Configuration", "Ave effective fetch rate"}, rows)
+}
+
+// ---------------------------------------------------------------- fig 7
+
+// Fig7 reports the percent change, relative to the baseline, in the
+// number of mispredicted conditional branches when branches are promoted
+// (promoted-branch faults count as mispredictions).
+func Fig7(r *Runner) string {
+	var b strings.Builder
+	for _, t := range []uint32{64, 128, 256} {
+		base := r.Sweep(config.Baseline())
+		promo := r.Sweep(config.Promotion(t))
+		vals := make([]float64, len(base))
+		for i := range base {
+			vals[i] = stats.PercentChange(float64(base[i].CondMispredicts), float64(promo[i].CondMispredicts))
+		}
+		b.WriteString(textplot.SignedBars(
+			fmt.Sprintf("threshold=%d: %% change in mispredicted conditional branches", t),
+			r.ShortBenchmarks(), vals, 40))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- table 3
+
+// Table3 reports the number of dynamic predictions required each fetch
+// cycle, averaged over all benchmarks.
+func Table3(r *Runner) string {
+	row := func(name string, cfg sim.Config) []string {
+		var z, two, three float64
+		runs := r.Sweep(cfg)
+		for _, run := range runs {
+			a, b, c := run.PredsFracs()
+			z += a
+			two += b
+			three += c
+		}
+		n := float64(len(runs))
+		return []string{
+			name,
+			fmt.Sprintf("%.0f%%", 100*z/n),
+			fmt.Sprintf("%.0f%%", 100*two/n),
+			fmt.Sprintf("%.0f%%", 100*three/n),
+		}
+	}
+	return textplot.Table(
+		[]string{"Configuration", "0 or 1 predictions", "2 predictions", "3 predictions"},
+		[][]string{
+			row("baseline", config.Baseline()),
+			row("threshold = 64", config.Promotion(config.PromotionThreshold)),
+		})
+}
+
+// ---------------------------------------------------------------- fig 9
+
+// Fig9 compares effective fetch rates with and without trace packing.
+func Fig9(r *Runner) string {
+	base := r.Sweep(config.Baseline())
+	pack := r.Sweep(config.Packing())
+	bv := make([]float64, len(base))
+	pv := make([]float64, len(base))
+	var notes []string
+	for i := range base {
+		bv[i] = base[i].EffFetchRate()
+		pv[i] = pack[i].EffFetchRate()
+		notes = append(notes, fmt.Sprintf("%s %+.0f%%", r.ShortBenchmarks()[i],
+			stats.PercentChange(bv[i], pv[i])))
+	}
+	out := textplot.GroupedBars("Effective fetch rate: baseline vs trace packing",
+		r.ShortBenchmarks(), []string{"baseline", "packing"}, [][]float64{bv, pv}, 40)
+	out += "\nPacking gain: " + strings.Join(notes, ", ") + "\n"
+	out += fmt.Sprintf("Average: baseline %.2f, packing %.2f (%+.0f%%)\n",
+		avg(bv), avg(pv), stats.PercentChange(avg(bv), avg(pv)))
+	return out
+}
+
+// ---------------------------------------------------------------- fig 10
+
+// Fig10Configs are the five front ends the figure compares.
+func Fig10Configs() []sim.Config {
+	return []sim.Config{
+		config.ICache(),
+		config.Baseline(),
+		config.Packing(),
+		config.Promotion(config.PromotionThreshold),
+		config.PromotionPacking(core.PackUnregulated, config.PromotionThreshold),
+	}
+}
+
+// Fig10 compares effective fetch rates for all techniques.
+func Fig10(r *Runner) string {
+	cfgs := Fig10Configs()
+	names := []string{"icache", "baseline", "packing", "promotion", "promotion+packing"}
+	values := make([][]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		runs := r.Sweep(cfg)
+		values[i] = make([]float64, len(runs))
+		for j, run := range runs {
+			values[i][j] = run.EffFetchRate()
+		}
+	}
+	out := textplot.GroupedBars("Effective fetch rates for all techniques",
+		r.ShortBenchmarks(), names, values, 40)
+	out += "\nAverages:"
+	for i, n := range names {
+		out += fmt.Sprintf(" %s %.2f;", n, avg(values[i]))
+	}
+	out += fmt.Sprintf("\nPromotion+packing over baseline: %+.0f%%\n",
+		stats.PercentChange(avg(values[1]), avg(values[4])))
+	return out
+}
+
+// ---------------------------------------------------------------- table 4
+
+// Table4Benchmarks are the six benchmarks the paper reports (those with
+// significant trace cache miss traffic).
+var Table4Benchmarks = []string{"gcc", "go", "vortex", "ghostscript", "python", "tex"}
+
+// Table4 reports the percent increase in cache-miss cycles of each packing
+// scheme over the promotion-only configuration, plus average effective
+// fetch rates.
+func Table4(r *Runner) string {
+	promo := config.Promotion(config.PromotionThreshold)
+	schemes := []struct {
+		label string
+		cfg   sim.Config
+	}{
+		{"unreg", config.PromotionPacking(core.PackUnregulated, config.PromotionThreshold)},
+		{"cost-reg", config.PromotionPacking(core.PackCostRegulated, config.PromotionThreshold)},
+		{"n=2", config.PromotionPacking(core.PackChunk2, config.PromotionThreshold)},
+		{"n=4", config.PromotionPacking(core.PackChunk4, config.PromotionThreshold)},
+	}
+	rows := make([][]string, 0, len(Table4Benchmarks)+1)
+	for _, bench := range Table4Benchmarks {
+		base := r.Run(promo, bench)
+		row := []string{workload.ShortName(bench)}
+		for _, s := range schemes {
+			run := r.Run(s.cfg, bench)
+			row = append(row, fmt.Sprintf("%+.1f%%",
+				stats.PercentChange(float64(base.TCMissCycles), float64(run.TCMissCycles))))
+		}
+		rows = append(rows, row)
+	}
+	effRow := []string{"Ave Eff Fetch Rate"}
+	for _, s := range schemes {
+		effRow = append(effRow, fmt.Sprintf("%.2f", r.AvgEffRate(s.cfg)))
+	}
+	rows = append(rows, effRow)
+	return textplot.Table([]string{"Benchmark", "unreg", "cost-reg", "n=2", "n=4"}, rows)
+}
+
+// ------------------------------------------------------- figures 11-16
+
+// perfFigure renders an IPC comparison for the three machines of Figures
+// 11 and 16.
+func perfFigure(r *Runner, title string, icache, baseline, best sim.Config) string {
+	ic := r.Sweep(icache)
+	bl := r.Sweep(baseline)
+	pp := r.Sweep(best)
+	iv, bv, pv := make([]float64, len(ic)), make([]float64, len(ic)), make([]float64, len(ic))
+	for i := range ic {
+		iv[i], bv[i], pv[i] = ic[i].IPC(), bl[i].IPC(), pp[i].IPC()
+	}
+	out := textplot.GroupedBars(title, r.ShortBenchmarks(),
+		[]string{"icache", "baseline", "promo+pack"}, [][]float64{iv, bv, pv}, 40)
+	var gains []string
+	for i := range bv {
+		gains = append(gains, fmt.Sprintf("%s %+.0f%%", r.ShortBenchmarks()[i],
+			stats.PercentChange(bv[i], pv[i])))
+	}
+	out += "\nGain over baseline: " + strings.Join(gains, ", ") + "\n"
+	out += fmt.Sprintf("Average IPC: icache %.2f, baseline %.2f, promo+pack %.2f\n", avg(iv), avg(bv), avg(pv))
+	out += fmt.Sprintf("Overall: %+.0f%% over baseline, %+.0f%% over icache\n",
+		stats.PercentChange(avg(bv), avg(pv)), stats.PercentChange(avg(iv), avg(pv)))
+	return out
+}
+
+// Fig11 is the overall performance of promotion and cost-regulated trace
+// packing under the realistic execution core.
+func Fig11(r *Runner) string {
+	return perfFigure(r, "IPC (realistic core, conservative memory scheduling)",
+		config.ICache(), config.Baseline(), config.Best())
+}
+
+// Fig12 accounts for every fetch cycle of the promotion+packing machine.
+func Fig12(r *Runner) string {
+	runs := r.Sweep(config.Best())
+	series := make([]string, stats.NumCycleClasses)
+	values := make([][]float64, stats.NumCycleClasses)
+	for c := stats.CycleClass(0); c < stats.NumCycleClasses; c++ {
+		series[c] = c.String()
+		values[c] = make([]float64, len(runs))
+		for i, run := range runs {
+			if run.Cycles > 0 {
+				values[c][i] = 100 * float64(run.Cycle[c]) / float64(run.Cycles)
+			}
+		}
+	}
+	return textplot.GroupedBars("Fetch cycle accounting (% of cycles), promotion+packing",
+		r.ShortBenchmarks(), series, values, 40)
+}
+
+// Fig13 reports the percent change in fetch cycles lost to branch
+// mispredictions between the baseline and promotion+packing.
+func Fig13(r *Runner) string {
+	base := r.Sweep(config.Baseline())
+	best := r.Sweep(config.Best())
+	vals := make([]float64, len(base))
+	for i := range base {
+		vals[i] = stats.PercentChange(float64(base[i].LostToMispredicts()), float64(best[i].LostToMispredicts()))
+	}
+	return textplot.SignedBars("% change in fetch cycles lost to mispredictions",
+		r.ShortBenchmarks(), vals, 40)
+}
+
+// Fig14 reports the percent change in mispredicted branches (conditional
+// and indirect; returns are ideal).
+func Fig14(r *Runner) string {
+	base := r.Sweep(config.Baseline())
+	best := r.Sweep(config.Best())
+	vals := make([]float64, len(base))
+	for i := range base {
+		vals[i] = stats.PercentChange(float64(base[i].TotalMispredicts()), float64(best[i].TotalMispredicts()))
+	}
+	return textplot.SignedBars("% change in mispredicted branches (cond + indirect)",
+		r.ShortBenchmarks(), vals, 40)
+}
+
+// Fig15 reports the percent change in mispredicted-branch resolution time.
+func Fig15(r *Runner) string {
+	base := r.Sweep(config.Baseline())
+	best := r.Sweep(config.Best())
+	vals := make([]float64, len(base))
+	sum := 0.0
+	for i := range base {
+		vals[i] = stats.PercentChange(base[i].AvgResolution(), best[i].AvgResolution())
+		sum += vals[i]
+	}
+	out := textplot.SignedBars("% change in misprediction resolution time",
+		r.ShortBenchmarks(), vals, 40)
+	out += fmt.Sprintf("\nAverage change: %+.1f%%\n", sum/float64(len(vals)))
+	return out
+}
+
+// Fig16 is the overall performance with an ideal, aggressive execution
+// engine (perfect memory disambiguation on all three machines).
+func Fig16(r *Runner) string {
+	return perfFigure(r, "IPC (perfect memory disambiguation)",
+		config.Oracle(config.ICache()), config.Oracle(config.Baseline()), config.Oracle(config.Best()))
+}
+
+func avg(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

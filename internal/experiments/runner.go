@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables 1-4, Figures 4-16) on the synthetic benchmark suite.
+// Each experiment formats the same rows and series the paper reports;
+// absolute values differ (different workloads and substrate), but the
+// comparative shapes are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tracecache/internal/program"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+	"tracecache/internal/workload"
+)
+
+// Runner executes simulations with memoization, so configurations shared
+// between experiments (baseline, promotion, packing) are simulated once.
+type Runner struct {
+	// Warmup instructions retire before measurement; Budget instructions
+	// are then measured.
+	Warmup uint64
+	Budget uint64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+
+	progs map[string]*program.Program
+	runs  map[string]*stats.Run
+}
+
+// NewRunner builds a runner with the given instruction budgets.
+func NewRunner(warmup, budget uint64) *Runner {
+	return &Runner{
+		Warmup: warmup,
+		Budget: budget,
+		progs:  make(map[string]*program.Program),
+		runs:   make(map[string]*stats.Run),
+	}
+}
+
+// Benchmarks returns the benchmark names in paper order.
+func (r *Runner) Benchmarks() []string { return workload.Names() }
+
+// ShortBenchmarks returns the abbreviated axis labels of the paper's
+// figures.
+func (r *Runner) ShortBenchmarks() []string {
+	names := workload.Names()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = workload.ShortName(n)
+	}
+	return out
+}
+
+func (r *Runner) prog(bench string) *program.Program {
+	if p, ok := r.progs[bench]; ok {
+		return p
+	}
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
+	}
+	p := prof.MustGenerate()
+	r.progs[bench] = p
+	return p
+}
+
+// Run simulates the benchmark under the configuration (memoized by
+// configuration name).
+func (r *Runner) Run(cfg sim.Config, bench string) *stats.Run {
+	key := cfg.Name + "/" + bench
+	if run, ok := r.runs[key]; ok {
+		return run
+	}
+	cfg.WarmupInsts = r.Warmup
+	cfg.MaxInsts = r.Budget
+	s, err := sim.New(cfg, r.prog(bench))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", key, err))
+	}
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, "running %s...\n", key)
+	}
+	run := s.Run()
+	r.runs[key] = run
+	return run
+}
+
+// Sweep runs the configuration over every benchmark and returns runs in
+// paper order.
+func (r *Runner) Sweep(cfg sim.Config) []*stats.Run {
+	out := make([]*stats.Run, 0, len(workload.Names()))
+	for _, b := range workload.Names() {
+		out = append(out, r.Run(cfg, b))
+	}
+	return out
+}
+
+// AvgEffRate returns the mean effective fetch rate of the configuration
+// across all benchmarks.
+func (r *Runner) AvgEffRate(cfg sim.Config) float64 {
+	runs := r.Sweep(cfg)
+	sum := 0.0
+	for _, run := range runs {
+		sum += run.EffFetchRate()
+	}
+	return sum / float64(len(runs))
+}
+
+// CachedKeys lists memoized runs (for tests).
+func (r *Runner) CachedKeys() []string {
+	keys := make([]string, 0, len(r.runs))
+	for k := range r.runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

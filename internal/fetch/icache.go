@@ -1,0 +1,160 @@
+package fetch
+
+import (
+	"tracecache/internal/bpred"
+	"tracecache/internal/cache"
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+	"tracecache/internal/stats"
+)
+
+// condPredictor supplies the prediction for the conditional branch that
+// terminates an instruction-cache fetch block, and a function that records
+// the predictor's update context on the fetched instruction.
+type condPredictor func(brPC int) (taken bool, annotate func(*FetchedInst))
+
+// icacheFetcher collects one fetch block per cycle from an instruction
+// cache, with split-line fetching: a fetch may continue into the next
+// cache line, but terminates at the boundary if the second line is not
+// resident (Section 4, footnote 2).
+type icacheFetcher struct {
+	prog      *program.Program
+	hier      *cache.Hierarchy
+	maxWidth  int
+	lineInsts int
+}
+
+func newICacheFetcher(prog *program.Program, hier *cache.Hierarchy, maxWidth int) icacheFetcher {
+	return icacheFetcher{
+		prog:      prog,
+		hier:      hier,
+		maxWidth:  maxWidth,
+		lineInsts: hier.L1I.LineBytes() / isa.InstBytes,
+	}
+}
+
+// fetchBlock fills b with one fetch block starting at pc. fs is the
+// speculative fetch state, predictBr the conditional-branch predictor, ind
+// the indirect-jump predictor.
+func (f *icacheFetcher) fetchBlock(b *Bundle, pc int, fs *frontState, predictBr condPredictor, ind *bpred.IndirectPredictor) {
+	code := f.prog.Code
+	b.Latency = f.hier.FetchInst(isa.Addr(pc))
+	line := pc / f.lineInsts
+	crossed := false
+	b.NextPC = pc
+	for len(b.Insts) < f.maxWidth && pc < len(code) {
+		if l := pc / f.lineInsts; l != line {
+			// Crossing a line boundary: split-line fetch reaches one more
+			// line, and only if it is resident.
+			if crossed || !f.hier.ProbeInst(isa.Addr(pc)) {
+				break
+			}
+			f.hier.FetchInst(isa.Addr(pc)) // hit; refresh LRU
+			line, crossed = l, true
+		}
+		in := code[pc]
+		fi := FetchedInst{
+			PC: pc, Inst: in,
+			BlockStart: len(b.Insts) == 0,
+			HistBefore: fs.hist.Reg,
+			RASBefore:  fs.ras,
+			PredTarget: pc + 1,
+		}
+		stop := false
+		switch {
+		case in.IsCondBranch():
+			taken, annotate := predictBr(pc)
+			fi.Predicted = taken
+			annotate(&fi)
+			fs.hist.Push(taken)
+			if taken {
+				fi.PredTarget = in.Target
+			}
+			b.PredsUsed++
+			stop = true
+		case in.Op == isa.OpJmp:
+			fi.PredTarget = in.Target
+			stop = true
+		case in.Op == isa.OpCall:
+			fs.ras = rasPush(fs.ras, pc+1)
+			fi.PredTarget = in.Target
+			stop = true
+		case in.Op == isa.OpRet:
+			fi.PredTarget, fs.ras = rasPop(fs.ras, pc)
+			stop = true
+		case in.IsIndirect():
+			if t, ok := ind.Predict(pc); ok {
+				fi.PredTarget = t
+			}
+			stop = true
+		case in.IsTrap() || in.Op == isa.OpHalt:
+			b.EndsInSerial = true
+			stop = true
+		}
+		b.Insts = append(b.Insts, fi)
+		b.NextPC = fi.PredTarget
+		pc++
+		if stop {
+			break
+		}
+	}
+	if len(b.Insts) == f.maxWidth {
+		b.Reason = stats.EndMaxSize
+	} else {
+		b.Reason = stats.EndICache
+	}
+}
+
+// ICacheEngine is the reference front end of Section 3: a large
+// dual-ported instruction cache supplying a single fetch block per cycle,
+// predicted by an aggressive hybrid single-branch predictor.
+type ICacheEngine struct {
+	frontState
+	icf    icacheFetcher
+	hybrid *bpred.Hybrid
+	ind    *bpred.IndirectPredictor
+	bundle Bundle
+}
+
+// ICacheConfig parameterises the reference front end.
+type ICacheConfig struct {
+	Prog     *program.Program
+	Hier     *cache.Hierarchy
+	Hybrid   *bpred.Hybrid
+	Indirect *bpred.IndirectPredictor
+	MaxWidth int // default 16
+	HistBits uint
+}
+
+// NewICacheEngine builds the reference front end.
+func NewICacheEngine(cfg ICacheConfig) *ICacheEngine {
+	if cfg.MaxWidth <= 0 {
+		cfg.MaxWidth = stats.MaxFetchWidth
+	}
+	if cfg.HistBits == 0 {
+		cfg.HistBits = 15
+	}
+	e := &ICacheEngine{
+		icf:    newICacheFetcher(cfg.Prog, cfg.Hier, cfg.MaxWidth),
+		hybrid: cfg.Hybrid,
+		ind:    cfg.Indirect,
+	}
+	e.hist.Bits = cfg.HistBits
+	e.bundle.Insts = make([]FetchedInst, 0, cfg.MaxWidth)
+	return e
+}
+
+// Fetch implements Engine.
+func (e *ICacheEngine) Fetch(pc int) *Bundle {
+	b := &e.bundle
+	*b = Bundle{Insts: b.Insts[:0]}
+	pc = clampPC(pc, len(e.icf.prog.Code))
+	e.icf.fetchBlock(b, pc, &e.frontState, func(brPC int) (bool, func(*FetchedInst)) {
+		taken, ctx := e.hybrid.Predict(brPC, e.hist.Reg)
+		return taken, func(fi *FetchedInst) {
+			fi.UsedHybrid = true
+			fi.HCtx = ctx
+		}
+	}, e.ind)
+	return b
+}

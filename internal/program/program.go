@@ -1,0 +1,159 @@
+// Package program defines the executable image consumed by the simulator:
+// a code segment of decoded instructions, an initial data image, and
+// optional symbol information for diagnostics.
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracecache/internal/isa"
+)
+
+// Program is a complete executable image. The PC space is the index space
+// of Code; data addresses live in a separate byte-addressed space whose
+// initial contents are given by Data.
+type Program struct {
+	Name  string
+	Code  []isa.Inst
+	Entry int
+	// Data holds the initial memory image as 8-byte words keyed by byte
+	// address (addresses are 8-byte aligned by construction).
+	Data map[uint64]int64
+	// Symbols maps instruction indices to labels (function entries, loop
+	// heads) for disassembly output.
+	Symbols map[int]string
+}
+
+// New returns an empty program with initialized maps.
+func New(name string) *Program {
+	return &Program{
+		Name:    name,
+		Data:    make(map[uint64]int64),
+		Symbols: make(map[int]string),
+	}
+}
+
+// Validate checks that every instruction is well formed, the entry point is
+// in range, and the program contains a halt (so a run can terminate).
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %q: empty code segment", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("program %q: entry %d out of range", p.Name, p.Entry)
+	}
+	halt := false
+	for pc, in := range p.Code {
+		if err := in.Validate(len(p.Code)); err != nil {
+			return fmt.Errorf("program %q: pc %d: %w", p.Name, pc, err)
+		}
+		if in.Op == isa.OpHalt {
+			halt = true
+		}
+	}
+	if !halt {
+		return fmt.Errorf("program %q: no halt instruction", p.Name)
+	}
+	return nil
+}
+
+// Label records a symbol for the given instruction index.
+func (p *Program) Label(pc int, name string) {
+	if p.Symbols == nil {
+		p.Symbols = make(map[int]string)
+	}
+	p.Symbols[pc] = name
+}
+
+// Disassemble renders the code segment as an assembly listing.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s, %d instructions, entry @%d\n", p.Name, len(p.Code), p.Entry)
+	for pc, in := range p.Code {
+		if sym, ok := p.Symbols[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", sym)
+		}
+		fmt.Fprintf(&b, "%6d: %s\n", pc, in)
+	}
+	return b.String()
+}
+
+// StaticStats summarises the static properties of a program.
+type StaticStats struct {
+	Insts        int
+	CondBranches int
+	Jumps        int
+	Calls        int
+	Returns      int
+	Indirects    int
+	Traps        int
+	Loads        int
+	Stores       int
+	// BlockSizes is the distribution of static basic-block lengths, where
+	// a block runs from a leader to the next control instruction.
+	BlockSizes []int
+}
+
+// Stats computes static statistics over the code segment.
+func (p *Program) Stats() StaticStats {
+	var s StaticStats
+	s.Insts = len(p.Code)
+	blockLen := 0
+	for _, in := range p.Code {
+		blockLen++
+		switch in.Op {
+		case isa.OpBr:
+			s.CondBranches++
+		case isa.OpJmp:
+			s.Jumps++
+		case isa.OpCall:
+			s.Calls++
+		case isa.OpRet:
+			s.Returns++
+		case isa.OpJmpInd:
+			s.Indirects++
+		case isa.OpTrap:
+			s.Traps++
+		case isa.OpLoad:
+			s.Loads++
+		case isa.OpStore:
+			s.Stores++
+		}
+		if in.IsControl() {
+			s.BlockSizes = append(s.BlockSizes, blockLen)
+			blockLen = 0
+		}
+	}
+	if blockLen > 0 {
+		s.BlockSizes = append(s.BlockSizes, blockLen)
+	}
+	return s
+}
+
+// MeanBlockSize returns the mean static basic-block length.
+func (s StaticStats) MeanBlockSize() float64 {
+	if len(s.BlockSizes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range s.BlockSizes {
+		total += n
+	}
+	return float64(total) / float64(len(s.BlockSizes))
+}
+
+// SortedSymbols returns symbols ordered by address, for stable listings.
+func (p *Program) SortedSymbols() []string {
+	pcs := make([]int, 0, len(p.Symbols))
+	for pc := range p.Symbols {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	out := make([]string, 0, len(pcs))
+	for _, pc := range pcs {
+		out = append(out, fmt.Sprintf("%6d %s", pc, p.Symbols[pc]))
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package program
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileMagic identifies serialized program images.
+const fileMagic = "TCPROG1\n"
+
+// Save writes the program to w in a self-describing binary format, so
+// generated workloads can be stored and rerun without regeneration.
+func (p *Program) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return fmt.Errorf("program: save: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(p); err != nil {
+		return fmt.Errorf("program: save %q: %w", p.Name, err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a program written by Save and validates it.
+func Load(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("program: load: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("program: load: bad magic %q", magic)
+	}
+	var p Program
+	if err := gob.NewDecoder(br).Decode(&p); err != nil {
+		return nil, fmt.Errorf("program: load: %w", err)
+	}
+	if p.Data == nil {
+		p.Data = make(map[uint64]int64)
+	}
+	if p.Symbols == nil {
+		p.Symbols = make(map[int]string)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// SaveFile writes the program image to a file.
+func (p *Program) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a program image from a file.
+func LoadFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

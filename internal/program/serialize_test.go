@@ -1,0 +1,89 @@
+package program
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracecache/internal/isa"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := tiny(t)
+	p.Data[0x1000] = 42
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Entry != p.Entry || len(got.Code) != len(p.Code) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Code {
+		if got.Code[i] != p.Code[i] {
+			t.Fatalf("code[%d] = %v, want %v", i, got.Code[i], p.Code[i])
+		}
+	}
+	if got.Data[0x1000] != 42 {
+		t.Errorf("data lost: %v", got.Data)
+	}
+	if got.Symbols[0] != p.Symbols[0] {
+		t.Errorf("symbols lost: %v", got.Symbols)
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(strings.NewReader("NOTAPROG........")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	p := tiny(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	// An image whose program fails validation (no halt) must be rejected.
+	bad := New("bad")
+	bad.Code = []isa.Inst{{Op: isa.OpNop}}
+	var buf bytes.Buffer
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	p := tiny(t)
+	path := filepath.Join(t.TempDir(), "prog.tc")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.tc")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim is the top-level cycle-level simulator: it ties a fetch
+// engine (trace cache or instruction cache) to the out-of-order execution
+// core, executes instruction semantics speculatively at dispatch (wrong
+// path included), recovers from branch mispredictions, misfetches and
+// promoted-branch faults, feeds the fill unit from the retired stream, and
+// collects every statistic the paper reports.
+package sim
+
+import (
+	"fmt"
+
+	"tracecache/internal/core"
+	"tracecache/internal/engine"
+)
+
+// FrontEnd selects the fetch mechanism.
+type FrontEnd uint8
+
+// Front ends.
+const (
+	// FrontICache is the reference configuration: a large dual-ported
+	// instruction cache with a hybrid predictor, one fetch block/cycle.
+	FrontICache FrontEnd = iota
+	// FrontTrace is the trace cache fetch mechanism.
+	FrontTrace
+)
+
+// Config parameterises one simulation.
+type Config struct {
+	Name  string
+	Front FrontEnd
+
+	// Trace-cache front end.
+	TC       core.TraceCacheConfig
+	Fill     core.FillConfig
+	SplitMBP bool // use the restructured three-table predictor (Section 4)
+	// DisableInactiveIssue reverts the trace cache to discarding blocks
+	// past the predicted path at fetch (the baseline includes inactive
+	// issue per Section 3; this is the ablation).
+	DisableInactiveIssue bool
+
+	// SingleHybrid sequences the trace cache with the aggressive hybrid
+	// single-branch predictor (one prediction per cycle, indexed by branch
+	// PC) — the design Section 4 suggests for an 8-wide machine once
+	// promotion has collapsed prediction-bandwidth demand.
+	SingleHybrid bool
+
+	// FetchWidth is the fetch (and trace segment read) width; 0 means the
+	// paper's 16.
+	FetchWidth int
+
+	// Predictor geometry.
+	TreeEntries     int    // gshare tree entries (paper: 16K)
+	SplitSizes      [3]int // restructured tables (paper: 64K/16K/8K counters)
+	IndirectEntries int
+
+	// Cache geometry.
+	ICacheBytes int // supporting icache (4KB) or reference icache (128KB)
+	L1DBytes    int
+	L2Bytes     int
+	LineBytes   int
+
+	// Core.
+	Engine      engine.Config
+	IssueWidth  int
+	RetireWidth int
+
+	// FaultPenalty is the extra redirect penalty of a promoted-branch
+	// fault, modelling the roll-back to the previous checkpoint and
+	// re-execution of the block prefix.
+	FaultPenalty int
+
+	// Run bounds. WarmupInsts retire before statistics collection
+	// starts; MaxInsts are then measured.
+	WarmupInsts uint64
+	MaxInsts    uint64
+	MaxCycles   uint64
+}
+
+// DefaultConfig returns the paper's baseline trace-cache machine
+// (Section 3): 2K-entry 4-way trace cache, 4KB supporting icache, 16K-entry
+// gshare tree predictor, 64KB L1D, 1MB L2, 16 universal FUs with 64-entry
+// node tables, conservative memory scheduling, inactive issue, atomic
+// block treatment, no promotion.
+func DefaultConfig() Config {
+	return Config{
+		Name:            "baseline",
+		Front:           FrontTrace,
+		TC:              core.TraceCacheConfig{Entries: 2048, Assoc: 4},
+		Fill:            core.DefaultFillConfig(core.PackAtomic, 0),
+		TreeEntries:     1 << 14,
+		SplitSizes:      [3]int{1 << 16, 1 << 14, 1 << 13},
+		IndirectEntries: 1 << 10,
+		ICacheBytes:     4 << 10,
+		L1DBytes:        64 << 10,
+		L2Bytes:         1 << 20,
+		LineBytes:       64,
+		Engine:          engine.DefaultConfig(),
+		IssueWidth:      16,
+		RetireWidth:     16,
+		FaultPenalty:    2,
+		MaxInsts:        1 << 20,
+		MaxCycles:       1 << 62,
+	}
+}
+
+// ICacheConfig returns the reference instruction-cache-only machine: a
+// 128KB dual-ported icache with the hybrid predictor.
+func ICacheConfig() Config {
+	c := DefaultConfig()
+	c.Name = "icache"
+	c.Front = FrontICache
+	c.ICacheBytes = 128 << 10
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("sim %q: non-positive widths", c.Name)
+	}
+	if c.Front == FrontTrace {
+		if err := c.TC.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Engine.FUs <= 0 || c.Engine.RSPerFU <= 0 {
+		return fmt.Errorf("sim %q: bad engine config", c.Name)
+	}
+	if c.MaxInsts == 0 {
+		return fmt.Errorf("sim %q: zero instruction budget", c.Name)
+	}
+	return nil
+}

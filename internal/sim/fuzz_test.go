@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracecache/internal/core"
+	"tracecache/internal/engine"
+	"tracecache/internal/exec"
+	"tracecache/internal/isa"
+)
+
+// TestArchitecturalEquivalenceFuzz runs the chaos program under many
+// randomly drawn machine configurations and checks that the final
+// architectural state always matches a sequential execution. This is the
+// deepest end-to-end validation of recovery, rename-map restoration,
+// undo-log rollback, inactive-issue injection and promoted-fault handling:
+// any timing-dependent corruption of architectural state shows up as a
+// register mismatch.
+func TestArchitecturalEquivalenceFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing skipped in -short mode")
+	}
+	rnd := rand.New(rand.NewSource(99))
+	p := chaos(t)
+	golden := exec.NewState(p)
+	gsteps, ghalted := golden.Run(1 << 30)
+	if !ghalted {
+		t.Fatal("golden did not halt")
+	}
+	policies := []core.PackPolicy{
+		core.PackAtomic, core.PackUnregulated, core.PackChunk2,
+		core.PackChunk4, core.PackCostRegulated,
+	}
+	for trial := 0; trial < 24; trial++ {
+		cfg := DefaultConfig()
+		cfg.Name = "fuzz"
+		if rnd.Intn(4) == 0 {
+			cfg = ICacheConfig()
+			cfg.Name = "fuzz-icache"
+		} else {
+			cfg.Fill = core.DefaultFillConfig(policies[rnd.Intn(len(policies))], uint32(rnd.Intn(3)*8))
+			cfg.SplitMBP = rnd.Intn(2) == 0
+			cfg.TC.PathAssoc = rnd.Intn(2) == 0
+			cfg.DisableInactiveIssue = rnd.Intn(3) == 0
+			cfg.TC.Entries = []int{64, 256, 2048}[rnd.Intn(3)]
+			cfg.TC.Assoc = []int{1, 2, 4}[rnd.Intn(3)]
+		}
+		cfg.Engine = engine.Config{
+			FUs:        []int{2, 4, 16}[rnd.Intn(3)],
+			RSPerFU:    []int{4, 16, 64}[rnd.Intn(3)],
+			MemOracle:  rnd.Intn(2) == 0,
+			DCacheHit:  1 + rnd.Intn(2),
+			ForwardLat: 1,
+		}
+		cfg.IssueWidth = []int{4, 8, 16}[rnd.Intn(3)]
+		cfg.RetireWidth = []int{4, 16}[rnd.Intn(2)]
+		cfg.FaultPenalty = rnd.Intn(4)
+		s := mustSim(t, cfg, p)
+		r := s.Run()
+		if r.Retired != gsteps {
+			t.Fatalf("trial %d (%+v): retired %d, golden %d", trial, cfg, r.Retired, gsteps)
+		}
+		for i := 0; i < isa.NumRegs; i++ {
+			if s.state.Regs[i] != golden.Regs[i] {
+				t.Fatalf("trial %d (%+v): r%d = %d, golden %d",
+					trial, cfg, i, s.state.Regs[i], golden.Regs[i])
+			}
+		}
+	}
+}

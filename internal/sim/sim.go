@@ -1,0 +1,690 @@
+package sim
+
+import (
+	"tracecache/internal/bpred"
+	"tracecache/internal/cache"
+	"tracecache/internal/core"
+	"tracecache/internal/engine"
+	"tracecache/internal/exec"
+	"tracecache/internal/fetch"
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+	"tracecache/internal/stats"
+)
+
+// dyn is the simulator's view of one in-flight dynamic instruction,
+// parallel to the engine's window.
+type dyn struct {
+	seq        uint64
+	fi         fetch.FetchedInst
+	fetchID    int
+	fetchCycle uint64
+
+	// Architectural results (execute-at-dispatch).
+	taken    bool
+	nextPC   int
+	memAddr  uint64
+	halted   bool
+	snapshot exec.Snapshot // state just after this instruction executed
+
+	// Rename bookkeeping.
+	destReg      isa.Reg
+	hasDest      bool
+	prevProducer uint64
+
+	// alignFill marks the first instruction of a trace-cache-miss fetch:
+	// the fill unit anchors a new segment at its address (fill-on-miss).
+	alignFill bool
+
+	// Resolution bookkeeping.
+	mispredicted bool
+	resolution   uint64 // cycles from fetch to redirect
+	// inactiveSuffix holds the inactive instructions issued with this
+	// (diverging) branch; they are injected if the branch mispredicts.
+	inactiveSuffix []fetch.FetchedInst
+}
+
+// fetchRec tracks one fetch-delivery cycle until all of its instructions
+// retire or are squashed, then classifies it (Figures 4, 6 and 12).
+type fetchRec struct {
+	cycle      uint64
+	reason     stats.FetchEnd
+	fromTC     bool
+	tcMiss     bool
+	predsUsed  int
+	dispatched int
+	pending    int
+	retired    int
+	mispredBR  bool
+	cause      stats.CycleClass
+	caused     bool
+	finalized  bool
+	delivered  bool
+}
+
+// noProducer marks an architectural (not in-flight) register value.
+const noProducer = ^uint64(0)
+
+// Simulator runs one program under one configuration.
+type Simulator struct {
+	cfg   Config
+	prog  *program.Program
+	state *exec.State
+	eng   *engine.Engine
+	fe    fetch.Engine
+	tc    *core.TraceCache
+	fill  *core.FillUnit
+	mbp   bpred.MultiPredictor
+	hyb   *bpred.Hybrid
+	ind   *bpred.IndirectPredictor
+	hier  *cache.Hierarchy
+
+	run       stats.Run
+	cycle     uint64
+	cycleBase uint64 // cycle at the end of warmup; Cycles reports the delta
+
+	window    []dyn
+	mask      uint64
+	renameMap [isa.NumRegs]uint64
+	retireSeq uint64
+
+	fetchPC int
+	// pending is the fetched bundle awaiting dispatch.
+	pending       []fetch.FetchedInst
+	pendingRec    int
+	pendingPos    int
+	deliverAt     uint64 // cycle the pending bundle is delivered (icache miss)
+	pendingBrIdx  int    // position of the diverging branch, -1 if none
+	pendingSuffix []fetch.FetchedInst
+
+	// Injected inactive instructions awaiting window space.
+	injectQueue []fetch.FetchedInst
+	injectRec   int
+
+	records []fetchRec
+
+	serialHold bool   // a trap/halt has been fetched and not yet cleared
+	serialSeq  uint64 // seq of the dispatched serializing instruction
+	serialInFl bool
+
+	redirected    bool // a recovery happened this cycle
+	redirectHold  uint64
+	recoveryClass stats.CycleClass
+
+	haltSeen bool
+
+	srcBuf []isa.Reg
+	seqBuf []uint64
+	fiBuf  []*fetch.FetchedInst
+
+	// OnRetireBranch, when set, observes every retiring conditional
+	// branch (a diagnostic hook for per-site analysis tooling).
+	OnRetireBranch func(pc int, taken, mispredicted, promoted bool)
+}
+
+// New builds a simulator for the program under the configuration.
+func New(cfg Config, prog *program.Program) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, prog: prog, state: exec.NewState(prog), pendingBrIdx: -1}
+	s.hier = &cache.Hierarchy{
+		L1I: cache.MustNew(cache.Config{Name: "l1i", SizeBytes: cfg.ICacheBytes, LineBytes: cfg.LineBytes, Assoc: 4}),
+		L1D: cache.MustNew(cache.Config{Name: "l1d", SizeBytes: cfg.L1DBytes, LineBytes: cfg.LineBytes, Assoc: 4}),
+		L2:  cache.MustNew(cache.Config{Name: "l2", SizeBytes: cfg.L2Bytes, LineBytes: cfg.LineBytes, Assoc: 8}),
+	}
+	s.eng = engine.New(cfg.Engine, s.hier)
+	s.ind = bpred.NewIndirectPredictor(cfg.IndirectEntries)
+	switch cfg.Front {
+	case FrontTrace:
+		tc, err := core.NewTraceCache(cfg.TC)
+		if err != nil {
+			return nil, err
+		}
+		s.tc = tc
+		s.fill = core.NewFillUnit(cfg.Fill, tc)
+		switch {
+		case cfg.SingleHybrid:
+			s.mbp = bpred.NewSingleHybridMBP(bpred.NewHybrid())
+		case cfg.SplitMBP:
+			s.mbp = bpred.NewSplitMBP(cfg.SplitSizes[0], cfg.SplitSizes[1], cfg.SplitSizes[2])
+		default:
+			s.mbp = bpred.NewTreeMBP(cfg.TreeEntries)
+		}
+		s.fe = fetch.NewTraceEngine(fetch.TraceConfig{
+			Prog: prog, TC: tc, MBP: s.mbp, Indirect: s.ind, Hier: s.hier,
+			MaxWidth:             cfg.FetchWidth,
+			PathAssoc:            cfg.TC.PathAssoc,
+			DisableInactiveIssue: cfg.DisableInactiveIssue,
+		})
+	default:
+		s.hyb = bpred.NewHybrid()
+		s.fe = fetch.NewICacheEngine(fetch.ICacheConfig{
+			Prog: prog, Hier: s.hier, Hybrid: s.hyb, Indirect: s.ind,
+			MaxWidth: cfg.FetchWidth,
+		})
+	}
+	size := 1
+	for size < 2*cfg.Engine.Window() {
+		size <<= 1
+	}
+	s.window = make([]dyn, size)
+	s.mask = uint64(size - 1)
+	for i := range s.renameMap {
+		s.renameMap[i] = noProducer
+	}
+	s.run.Config = cfg.Name
+	s.run.Benchmark = prog.Name
+	s.fetchPC = prog.Entry
+	return s, nil
+}
+
+// TraceCache returns the trace cache (nil for the icache configuration).
+func (s *Simulator) TraceCache() *core.TraceCache { return s.tc }
+
+// FillUnit returns the fill unit (nil for the icache configuration).
+func (s *Simulator) FillUnit() *core.FillUnit { return s.fill }
+
+// Hierarchy returns the cache hierarchy.
+func (s *Simulator) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Engine returns the execution core.
+func (s *Simulator) Engine() *engine.Engine { return s.eng }
+
+// Run simulates until the instruction budget, cycle bound, or program halt
+// and returns the collected statistics. When the configuration specifies a
+// warmup, statistics are reset once the warmup instruction count retires —
+// with caches, predictors, the trace cache and the bias table left warm —
+// so short runs are not dominated by cold-start effects (the paper ran
+// 41M-500M instructions per benchmark).
+func (s *Simulator) Run() *stats.Run {
+	warm := s.cfg.WarmupInsts
+	warming := warm > 0
+	for !s.haltSeen && s.cycle-s.cycleBase < s.cfg.MaxCycles {
+		if warming && s.run.Retired >= warm {
+			warming = false
+			s.resetStats()
+		}
+		if !warming && s.run.Retired >= s.cfg.MaxInsts {
+			break
+		}
+		s.stepCycle()
+		s.cycle++
+	}
+	s.run.Cycles = s.cycle - s.cycleBase
+	// Return a copy: stats.Run is a pure value type, and handing out a
+	// pointer into the Simulator would pin the whole machine (window,
+	// records, caches) for as long as the caller keeps the result.
+	run := s.run
+	return &run
+}
+
+// resetStats zeroes measurement counters at the end of warmup. The cycle
+// counter keeps running (in-flight engine events are scheduled against
+// it); Cycles reports the delta from here.
+func (s *Simulator) resetStats() {
+	s.run = stats.Run{Benchmark: s.run.Benchmark, Config: s.run.Config}
+	s.cycleBase = s.cycle
+}
+
+// Stats returns the statistics collected so far.
+func (s *Simulator) Stats() *stats.Run { return &s.run }
+
+func (s *Simulator) stepCycle() {
+	s.retire()
+	if s.haltSeen {
+		return
+	}
+	completed := s.eng.Tick(s.cycle)
+	s.resolve(completed)
+	if s.redirected {
+		s.redirected = false
+		s.run.Cycle[s.recoveryClass]++
+		return
+	}
+	if s.redirectHold > 0 {
+		s.redirectHold--
+		s.run.Cycle[s.recoveryClass]++
+		return
+	}
+	delivered := s.dispatch()
+	s.fetch(delivered)
+}
+
+// ---------------------------------------------------------------- retire
+
+func (s *Simulator) retire() {
+	for n := 0; n < s.cfg.RetireWidth; n++ {
+		seq := s.retireSeq
+		if s.eng.InFlight() == 0 || !s.eng.IsDone(seq) {
+			return
+		}
+		d := &s.window[seq&s.mask]
+		s.retireInst(d)
+		s.eng.Retire(seq)
+		s.retireSeq = seq + 1
+		if d.halted {
+			s.haltSeen = true
+			return
+		}
+	}
+}
+
+func (s *Simulator) retireInst(d *dyn) {
+	in := d.fi.Inst
+	s.run.Retired++
+	if s.fill != nil {
+		if d.alignFill {
+			s.fill.Align()
+		}
+		s.fill.Retire(d.fi.PC, in, d.taken)
+	}
+	switch {
+	case in.IsCondBranch():
+		if s.OnRetireBranch != nil {
+			s.OnRetireBranch(d.fi.PC, d.taken, d.mispredicted, d.fi.Promoted)
+		}
+		s.run.CondBranches++
+		src := stats.SrcEmbedded
+		if d.fi.Promoted {
+			src = stats.SrcPromoted
+			s.run.PromotedExecuted++
+			if d.mispredicted {
+				s.run.PromotedFaults++
+			}
+		} else if d.fi.UsedSlot {
+			src = stats.SrcSlot
+			s.mbp.Update(d.fi.Ctx, d.taken)
+		} else if d.fi.UsedHybrid {
+			src = stats.SrcHybrid
+			s.hyb.Update(d.fi.HCtx, d.taken)
+		}
+		s.run.CondBySource[src]++
+		if d.mispredicted {
+			s.run.MissBySource[src]++
+		}
+		if d.mispredicted {
+			s.run.CondMispredicts++
+			s.run.ResolutionSum += d.resolution
+			s.run.ResolutionsCounted++
+		}
+	case in.IsIndirect():
+		s.run.IndirectJumps++
+		s.ind.Update(d.fi.PC, d.nextPC)
+		if d.mispredicted {
+			s.run.IndirectMisses++
+			s.run.ResolutionSum += d.resolution
+			s.run.ResolutionsCounted++
+		}
+	case in.IsReturn():
+		s.run.Returns++
+	case in.IsStore():
+		s.hier.AccessData(d.memAddr)
+	}
+	if s.serialInFl && s.serialSeq == d.seq {
+		s.serialInFl = false
+		s.serialHold = false
+	}
+	s.state.ReleaseBefore(d.snapshot)
+	rec := &s.records[d.fetchID]
+	rec.retired++
+	rec.pending--
+	if d.mispredicted && in.IsCondBranch() {
+		rec.mispredBR = true
+	}
+	s.maybeFinalize(d.fetchID)
+}
+
+// ---------------------------------------------------------------- resolve
+
+func (s *Simulator) resolve(completed []uint64) {
+	for _, seq := range completed {
+		d := &s.window[seq&s.mask]
+		if d.seq != seq {
+			continue // squashed earlier this cycle
+		}
+		in := d.fi.Inst
+		switch {
+		case in.IsCondBranch():
+			if d.taken != d.fi.Predicted {
+				s.recoverBranch(d)
+				return // younger completions are squashed
+			}
+		case in.IsIndirect():
+			if d.nextPC != d.fi.PredTarget {
+				s.recover(d, stats.CycleMisfetch, d.nextPC)
+				return
+			}
+		case in.IsReturn():
+			if d.nextPC != d.fi.PredTarget {
+				// Possible only on the wrong path (the RAS is ideal).
+				s.recover(d, stats.CycleMisfetch, d.nextPC)
+				return
+			}
+		}
+	}
+}
+
+// recoverBranch handles a mispredicted conditional branch, including
+// promoted-branch faults and the inactive-issue case where the segment's
+// embedded path turns out to be the correct one.
+func (s *Simulator) recoverBranch(d *dyn) {
+	if d.fi.Promoted {
+		// Promoted fault: handled like an exception; the machine backs up
+		// to the previous checkpoint, modelled as an extra redirect
+		// penalty on top of the misprediction recovery. Check demotion.
+		if s.fill != nil && s.fill.Bias() != nil &&
+			s.fill.Bias().ShouldDemote(d.fi.PC, d.fi.Predicted) {
+			s.tc.InvalidatePromoted(d.fi.PC)
+		}
+		s.recover(d, stats.CycleBranchMiss, d.nextPC)
+		s.redirectHold += uint64(s.cfg.FaultPenalty)
+		return
+	}
+	suffix := d.inactiveSuffix
+	s.recover(d, stats.CycleBranchMiss, d.nextPC)
+	if len(suffix) > 0 {
+		// Inactive issue: the segment's embedded path was the correct
+		// one. The inactive instructions are already in the machine;
+		// inject them and resume fetch after the segment.
+		s.injectQueue = append(s.injectQueue[:0], suffix...)
+		s.injectRec = d.fetchID
+		s.fetchPC = s.applyAndResume(suffix)
+	}
+}
+
+// applyAndResume applies the fetch-state effects of the inactive suffix
+// and returns the PC where fetch resumes.
+func (s *Simulator) applyAndResume(suffix []fetch.FetchedInst) int {
+	s.fiBuf = s.fiBuf[:0]
+	for i := range suffix {
+		s.fiBuf = append(s.fiBuf, &suffix[i])
+	}
+	return s.fe.ApplyEffects(s.fiBuf)
+}
+
+// recover squashes everything younger than d, rolls back architectural
+// state, restores the rename map and fetch state, and redirects fetch.
+func (s *Simulator) recover(d *dyn, cause stats.CycleClass, target int) {
+	from := d.seq + 1
+	// Rename map and record bookkeeping, youngest first.
+	for seq := s.eng.NextSeq(); seq > from; {
+		seq--
+		y := &s.window[seq&s.mask]
+		if y.seq != seq {
+			continue
+		}
+		if y.hasDest && s.renameMap[y.destReg] == seq {
+			s.renameMap[y.destReg] = y.prevProducer
+		}
+		rec := &s.records[y.fetchID]
+		rec.pending--
+		if !rec.caused {
+			rec.cause, rec.caused = cause, true
+		}
+		y.seq = ^uint64(0) // poison the slot
+		s.run.FetchedWrong++
+		s.maybeFinalize(y.fetchID)
+	}
+	s.eng.Squash(from)
+	s.state.Rollback(d.snapshot)
+	s.fe.ResolveEffect(&d.fi, d.taken)
+	s.fetchPC = target
+	s.discardPending(cause)
+	s.injectQueue = s.injectQueue[:0]
+	if s.serialInFl && s.serialSeq >= from {
+		s.serialInFl = false
+		s.serialHold = false
+	} else if s.serialHold && !s.serialInFl {
+		// The serializing instruction was in the discarded bundle.
+		s.serialHold = false
+	}
+	d.mispredicted = true
+	d.resolution = s.cycle - d.fetchCycle
+	s.redirected = true
+	s.recoveryClass = cause
+}
+
+func (s *Simulator) discardPending(cause stats.CycleClass) {
+	if s.pending == nil {
+		return
+	}
+	id := s.pendingRec
+	rec := &s.records[id]
+	s.pending = nil
+	s.pendingPos = 0
+	s.pendingBrIdx = -1
+	s.pendingSuffix = nil
+	if rec.dispatched == 0 {
+		rec.finalized = true
+		if rec.delivered {
+			// The bundle occupied its fetch cycle but none of it issued:
+			// the cycle was lost to the recovery's cause.
+			s.run.Cycle[cause]++
+		}
+		return
+	}
+	s.maybeFinalize(id)
+}
+
+// ---------------------------------------------------------------- dispatch
+
+// dispatch issues instructions from the inject queue and the pending
+// bundle. It reports whether a bundle began dispatching this cycle after a
+// miss stall.
+func (s *Simulator) dispatch() bool {
+	// Injected inactive instructions re-enter without consuming fetch or
+	// issue bandwidth: their original fetch already issued them.
+	for len(s.injectQueue) > 0 && s.eng.SpaceFor(1) {
+		fi := s.injectQueue[0]
+		s.injectQueue = s.injectQueue[1:]
+		s.dispatchInst(fi, s.injectRec)
+	}
+	if len(s.injectQueue) > 0 {
+		return false
+	}
+	delivered := false
+	budget := s.cfg.IssueWidth
+	for budget > 0 && s.pending != nil && s.cycle >= s.deliverAt {
+		rec := &s.records[s.pendingRec]
+		if !rec.delivered {
+			rec.delivered = true
+			delivered = true
+		}
+		if s.pendingPos >= len(s.pending) {
+			break
+		}
+		fi := s.pending[s.pendingPos]
+		if fi.Inactive {
+			s.pendingPos++
+			continue
+		}
+		if !s.eng.SpaceFor(1) {
+			break
+		}
+		s.dispatchInst(fi, s.pendingRec)
+		if s.pendingPos == s.pendingBrIdx && s.pendingSuffix != nil {
+			// The diverging branch carries its inactive suffix.
+			last := &s.window[(s.eng.NextSeq()-1)&s.mask]
+			last.inactiveSuffix = s.pendingSuffix
+			s.pendingSuffix = nil
+			s.pendingBrIdx = -1
+		}
+		s.pendingPos++
+		budget--
+	}
+	if s.pending != nil && s.pendingPos >= len(s.pending) {
+		s.pending = nil
+		s.pendingPos = 0
+		s.pendingBrIdx = -1
+		s.pendingSuffix = nil
+	}
+	return delivered
+}
+
+func (s *Simulator) dispatchInst(fi fetch.FetchedInst, recID int) {
+	info := s.state.StepAt(fi.PC)
+	snap := s.state.Checkpoint()
+	// Rename: collect producing sequence numbers.
+	s.srcBuf = fi.Inst.SrcRegs(s.srcBuf[:0])
+	s.seqBuf = s.seqBuf[:0]
+	for _, r := range s.srcBuf {
+		if p := s.renameMap[r]; p != noProducer {
+			s.seqBuf = append(s.seqBuf, p)
+		}
+	}
+	seq := s.eng.Dispatch(s.seqBuf, fi.Inst.IsLoad(), fi.Inst.IsStore(), info.MemAddr, fi.Inst.Latency())
+	d := &s.window[seq&s.mask]
+	rec := &s.records[recID]
+	align := rec.tcMiss && rec.dispatched == 0
+	*d = dyn{
+		seq:        seq,
+		fi:         fi,
+		fetchID:    recID,
+		fetchCycle: rec.cycle,
+		taken:      info.Taken,
+		nextPC:     info.NextPC,
+		memAddr:    info.MemAddr,
+		halted:     info.Halted,
+		snapshot:   snap,
+		alignFill:  align,
+	}
+	if rd, ok := fi.Inst.WritesReg(); ok {
+		d.hasDest, d.destReg = true, rd
+		d.prevProducer = s.renameMap[rd]
+		s.renameMap[rd] = seq
+	}
+	if fi.Inst.IsTrap() || fi.Inst.Op == isa.OpHalt {
+		s.serialHold = true
+		s.serialInFl = true
+		s.serialSeq = seq
+	}
+	rec.dispatched++
+	rec.pending++
+}
+
+// ------------------------------------------------------------------ fetch
+
+func (s *Simulator) fetch(deliveredThisCycle bool) {
+	switch {
+	case s.haltSeen:
+		return
+	case len(s.injectQueue) > 0:
+		s.run.Cycle[stats.CycleFullWindow]++
+		return
+	case s.serialHold:
+		s.run.Cycle[stats.CycleTrap]++
+		return
+	case s.pending != nil:
+		if s.cycle < s.deliverAt {
+			s.run.Cycle[stats.CycleCacheMiss]++
+			if s.records[s.pendingRec].tcMiss {
+				s.run.TCMissCycles++
+			}
+			return
+		}
+		// Delivered but stuck behind a full window.
+		s.run.Cycle[stats.CycleFullWindow]++
+		return
+	case deliveredThisCycle:
+		// The fetch unit spent this cycle delivering a stalled bundle;
+		// the bundle's record classifies this cycle.
+		return
+	}
+	if !s.eng.SpaceFor(1) {
+		s.run.Cycle[stats.CycleFullWindow]++
+		return
+	}
+	b := s.fe.Fetch(s.fetchPC)
+	recID := len(s.records)
+	s.records = append(s.records, fetchRec{
+		cycle:     s.cycle + uint64(b.Latency),
+		reason:    b.Reason,
+		fromTC:    b.FromTC,
+		tcMiss:    b.TCMiss,
+		predsUsed: b.PredsUsed,
+	})
+	if b.TCMiss {
+		s.run.TCMissCycles++
+	}
+	if b.Latency > 0 {
+		s.run.Cycle[stats.CycleCacheMiss]++
+		s.deliverAt = s.cycle + uint64(b.Latency)
+	} else {
+		// Delivered immediately: this fetch cycle is the record's cycle,
+		// and dispatch next cycle overlaps with the next fetch.
+		s.deliverAt = s.cycle
+		s.records[recID].delivered = true
+	}
+	// Copy the bundle (the fetch engine reuses its buffer) and locate the
+	// diverging branch for inactive-issue injection.
+	insts := append([]fetch.FetchedInst(nil), b.Insts...)
+	s.pending = insts
+	s.pendingRec = recID
+	s.pendingPos = 0
+	s.pendingBrIdx = -1
+	s.pendingSuffix = nil
+	s.attachInactive(insts)
+	s.fetchPC = b.NextPC
+	if b.EndsInSerial {
+		s.serialHold = true
+		s.serialInFl = false
+	}
+}
+
+// attachInactive locates the divergence point; the inactive suffix is
+// attached to the diverging branch when it dispatches.
+func (s *Simulator) attachInactive(insts []fetch.FetchedInst) {
+	first := -1
+	for i := range insts {
+		if insts[i].Inactive {
+			first = i
+			break
+		}
+	}
+	if first <= 0 {
+		return
+	}
+	if !insts[first-1].Inst.IsCondBranch() {
+		return
+	}
+	s.pendingBrIdx = first - 1
+	s.pendingSuffix = insts[first:]
+}
+
+// maybeFinalize classifies a fetch record once all of its instructions
+// have retired or been squashed.
+func (s *Simulator) maybeFinalize(id int) {
+	rec := &s.records[id]
+	if rec.finalized || rec.pending > 0 || rec.dispatched == 0 {
+		return
+	}
+	if s.pending != nil && s.pendingRec == id {
+		return // still dispatching
+	}
+	if len(s.injectQueue) > 0 && s.injectRec == id {
+		return // injected instructions still arriving
+	}
+	rec.finalized = true
+	if rec.retired > 0 {
+		s.run.Cycle[stats.CycleUseful]++
+		s.run.Fetches++
+		s.run.FetchedCorrect += uint64(rec.retired)
+		end := rec.reason
+		if rec.mispredBR {
+			end = stats.EndMispredBR
+		}
+		s.run.Hist.Add(rec.retired, end)
+		p := rec.predsUsed
+		if p > 3 {
+			p = 3
+		}
+		s.run.PredsPerFetch[p]++
+		return
+	}
+	cls := rec.cause
+	if !rec.caused {
+		cls = stats.CycleBranchMiss
+	}
+	s.run.Cycle[cls]++
+}

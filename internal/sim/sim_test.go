@@ -1,0 +1,433 @@
+package sim
+
+import (
+	"testing"
+
+	"tracecache/internal/core"
+	"tracecache/internal/exec"
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+	"tracecache/internal/stats"
+	"tracecache/internal/workload"
+)
+
+// sumLoop builds a program computing sum(1..n) via a loop, then halting.
+func sumLoop(t *testing.T, n int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("sumloop")
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: n})
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 2, Imm: 0})
+	b.Here("loop")
+	b.Emit(isa.Inst{Op: isa.OpAdd, Rd: 2, Rs1: 2, Rs2: 1})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: -1})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: 1, Rs2: 0}, "loop")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustSim(t *testing.T, cfg Config, p *program.Program) *Simulator {
+	t.Helper()
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoopRunsToHaltTrace(t *testing.T) {
+	p := sumLoop(t, 100)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 1 << 20
+	s := mustSim(t, cfg, p)
+	r := s.Run()
+	if r.Retired == 0 || r.Cycles == 0 {
+		t.Fatalf("run = %+v", r)
+	}
+	// 100 iterations * 3 + 3 = 303 retired instructions.
+	if r.Retired != 303 {
+		t.Errorf("retired = %d, want 303", r.Retired)
+	}
+	if r.CondBranches != 100 {
+		t.Errorf("branches = %d, want 100", r.CondBranches)
+	}
+	// The loop-exit branch must mispredict at least once.
+	if r.CondMispredicts == 0 {
+		t.Error("no mispredicts on loop exit")
+	}
+	if r.IPC() <= 0 {
+		t.Error("no IPC")
+	}
+}
+
+func TestLoopRunsToHaltICache(t *testing.T) {
+	p := sumLoop(t, 100)
+	s := mustSim(t, ICacheConfig(), p)
+	r := s.Run()
+	if r.Retired != 303 {
+		t.Errorf("retired = %d, want 303", r.Retired)
+	}
+}
+
+// archEqual verifies the simulator's final architectural state matches a
+// pure sequential execution — the strongest end-to-end check of recovery,
+// rename and rollback correctness.
+func archEqual(t *testing.T, cfg Config, p *program.Program) {
+	t.Helper()
+	s := mustSim(t, cfg, p)
+	r := s.Run()
+	golden := exec.NewState(p)
+	gsteps, ghalted := golden.Run(1 << 30)
+	if !ghalted {
+		t.Fatal("golden run did not halt")
+	}
+	if r.Retired != gsteps {
+		t.Fatalf("retired = %d, golden steps = %d", r.Retired, gsteps)
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		if s.state.Regs[i] != golden.Regs[i] {
+			t.Errorf("r%d = %d, golden %d", i, s.state.Regs[i], golden.Regs[i])
+		}
+	}
+}
+
+func TestArchitecturalEquivalenceLoop(t *testing.T) {
+	archEqual(t, DefaultConfig(), sumLoop(t, 200))
+}
+
+// chaos builds a program exercising every control construct with
+// hard-to-predict branches, calls, indirect jumps, stores and a trap.
+func chaos(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("chaos")
+	// Data: a small pseudo-random table driving branch decisions.
+	for i := 0; i < 64; i++ {
+		b.Word(uint64(0x1000+i*8), int64((i*2654435761)%97))
+	}
+	// Jump table with 4 entries, patched below.
+	b.Here("f")
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 10, Rs1: 10, Imm: 1}) // call counter
+	b.Emit(isa.Inst{Op: isa.OpRet})
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 64}) // loop counter
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 2, Imm: 0})  // index
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 3, Imm: 0})  // accumulator
+	b.Here("loop")
+	// Load a pseudo-random value.
+	b.Emit(isa.Inst{Op: isa.OpMulI, Rd: 4, Rs1: 2, Imm: 8})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 4, Rs1: 4, Imm: 0x1000})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Rd: 5, Rs1: 4})
+	// Data-dependent branch.
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 6, Imm: 48})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondLT, Rs1: 5, Rs2: 6}, "skip")
+	b.Emit(isa.Inst{Op: isa.OpAdd, Rd: 3, Rs1: 3, Rs2: 5})
+	b.Emit(isa.Inst{Op: isa.OpStore, Rs1: 4, Rs2: 3, Imm: 0x800})
+	b.Here("skip")
+	// Call.
+	b.EmitTo(isa.Inst{Op: isa.OpCall}, "f")
+	// Indirect jump through a table selected by value & 3.
+	b.Emit(isa.Inst{Op: isa.OpAndI, Rd: 7, Rs1: 5, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.OpMulI, Rd: 7, Rs1: 7, Imm: 8})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 7, Rs1: 7, Imm: 0x2000})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Rd: 8, Rs1: 7})
+	b.Emit(isa.Inst{Op: isa.OpJmpInd, Rs1: 8})
+	case0 := b.PC()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 3, Rs1: 3, Imm: 1})
+	b.EmitTo(isa.Inst{Op: isa.OpJmp}, "join")
+	case1 := b.PC()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 3, Rs1: 3, Imm: 2})
+	b.EmitTo(isa.Inst{Op: isa.OpJmp}, "join")
+	case2 := b.PC()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 3, Rs1: 3, Imm: 3})
+	b.EmitTo(isa.Inst{Op: isa.OpJmp}, "join")
+	case3 := b.PC()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 3, Rs1: 3, Imm: 4})
+	b.Here("join")
+	b.Word(0x2000, int64(case0))
+	b.Word(0x2008, int64(case1))
+	b.Word(0x2010, int64(case2))
+	b.Word(0x2018, int64(case3))
+	// Occasional trap.
+	b.Emit(isa.Inst{Op: isa.OpAndI, Rd: 9, Rs1: 2, Imm: 31})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondNE, Rs1: 9, Rs2: 0}, "notrap")
+	b.Emit(isa.Inst{Op: isa.OpTrap})
+	b.Here("notrap")
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 2, Rs1: 2, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: -1})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: 1, Rs2: 0}, "loop")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArchitecturalEquivalenceChaosTrace(t *testing.T) {
+	archEqual(t, DefaultConfig(), chaos(t))
+}
+
+func TestArchitecturalEquivalenceChaosICache(t *testing.T) {
+	archEqual(t, ICacheConfig(), chaos(t))
+}
+
+func TestArchitecturalEquivalenceChaosPromotionPacking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fill = core.DefaultFillConfig(core.PackUnregulated, 4)
+	cfg.SplitMBP = true
+	archEqual(t, cfg, chaos(t))
+}
+
+func TestArchitecturalEquivalenceChaosOracle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine.MemOracle = true
+	archEqual(t, cfg, chaos(t))
+}
+
+func TestChaosMemoryStateMatches(t *testing.T) {
+	p := chaos(t)
+	s := mustSim(t, DefaultConfig(), p)
+	s.Run()
+	golden := exec.NewState(p)
+	golden.Run(1 << 30)
+	for i := 0; i < 64; i++ {
+		addr := uint64(0x1800 + i*8)
+		if got, want := s.state.Mem().Read(addr), golden.Mem().Read(addr); got != want {
+			t.Errorf("mem[%#x] = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestTraceCachePopulatesAndHits(t *testing.T) {
+	p := sumLoop(t, 500)
+	s := mustSim(t, DefaultConfig(), p)
+	s.Run()
+	st := s.TraceCache().Stats()
+	if st.Inserts == 0 {
+		t.Error("fill unit never wrote a segment")
+	}
+	if st.Hits == 0 {
+		t.Error("trace cache never hit")
+	}
+}
+
+func TestPromotionPromotesLoopBranch(t *testing.T) {
+	p := sumLoop(t, 2000)
+	cfg := DefaultConfig()
+	cfg.Fill = core.DefaultFillConfig(core.PackAtomic, 16)
+	cfg.SplitMBP = true
+	s := mustSim(t, cfg, p)
+	r := s.Run()
+	if r.PromotedExecuted == 0 {
+		t.Error("no promoted branches executed")
+	}
+	// The loop exit faults exactly once (the final iteration).
+	if r.PromotedFaults != 1 {
+		t.Errorf("promoted faults = %d, want 1", r.PromotedFaults)
+	}
+}
+
+func TestTrapSerializes(t *testing.T) {
+	b := program.NewBuilder("trap")
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 5})
+	b.Here("loop")
+	b.Emit(isa.Inst{Op: isa.OpTrap})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: -1})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: 1, Rs2: 0}, "loop")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSim(t, DefaultConfig(), p)
+	r := s.Run()
+	if r.Retired != 1+5*3+1 {
+		t.Errorf("retired = %d", r.Retired)
+	}
+	if r.Cycle[stats.CycleTrap] == 0 {
+		t.Error("no trap stall cycles recorded")
+	}
+}
+
+func TestCycleAccountingSumsToCycles(t *testing.T) {
+	p, _ := workload.ByName("compress")
+	prog := p.MustGenerate()
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 30000
+	s := mustSim(t, cfg, prog)
+	r := s.Run()
+	var sum uint64
+	for _, c := range r.Cycle {
+		sum += c
+	}
+	// Every cycle is classified exactly once, up to small bookkeeping
+	// slack at run end (unfinalized records).
+	ratio := float64(sum) / float64(r.Cycles)
+	if ratio < 0.9 || ratio > 1.02 {
+		t.Errorf("classified cycles = %d of %d (%.2f)", sum, r.Cycles, ratio)
+	}
+}
+
+func TestWorkloadRunsAllConfigs(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	prog := p.MustGenerate()
+	configs := []Config{DefaultConfig(), ICacheConfig()}
+	promo := DefaultConfig()
+	promo.Name = "promotion"
+	promo.Fill = core.DefaultFillConfig(core.PackAtomic, 64)
+	promo.SplitMBP = true
+	packing := DefaultConfig()
+	packing.Name = "packing"
+	packing.Fill = core.DefaultFillConfig(core.PackUnregulated, 0)
+	both := DefaultConfig()
+	both.Name = "both"
+	both.Fill = core.DefaultFillConfig(core.PackCostRegulated, 64)
+	both.SplitMBP = true
+	configs = append(configs, promo, packing, both)
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			cfg.MaxInsts = 30000
+			s := mustSim(t, cfg, prog)
+			r := s.Run()
+			if r.Retired < 30000 {
+				t.Fatalf("retired only %d", r.Retired)
+			}
+			if r.EffFetchRate() <= 1 || r.EffFetchRate() > 16 {
+				t.Errorf("effective fetch rate = %.2f", r.EffFetchRate())
+			}
+			if r.IPC() <= 0.3 || r.IPC() > 16 {
+				t.Errorf("IPC = %.2f", r.IPC())
+			}
+			if r.CondBranches == 0 {
+				t.Error("no branches retired")
+			}
+			mr := r.CondMispredictRate()
+			if mr <= 0 || mr > 0.5 {
+				t.Errorf("mispredict rate = %.3f", mr)
+			}
+		})
+	}
+}
+
+func TestTraceBeatsICacheFetchRate(t *testing.T) {
+	p, _ := workload.ByName("m88ksim")
+	prog := p.MustGenerate()
+	base := DefaultConfig()
+	base.MaxInsts = 60000
+	ic := ICacheConfig()
+	ic.MaxInsts = 60000
+	sb := mustSim(t, base, prog)
+	rb := sb.Run()
+	si := mustSim(t, ic, prog)
+	ri := si.Run()
+	if rb.EffFetchRate() <= ri.EffFetchRate() {
+		t.Errorf("trace cache fetch rate %.2f not above icache %.2f",
+			rb.EffFetchRate(), ri.EffFetchRate())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.IssueWidth = 0
+	if _, err := New(bad, sumLoop(t, 5)); err == nil {
+		t.Error("bad config accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.MaxInsts = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.TC.Entries = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("bad TC accepted")
+	}
+	bad4 := DefaultConfig()
+	bad4.Engine.FUs = 0
+	if err := bad4.Validate(); err == nil {
+		t.Error("bad engine accepted")
+	}
+}
+
+func TestMaxCyclesBound(t *testing.T) {
+	p := sumLoop(t, 1<<20)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 100
+	s := mustSim(t, cfg, p)
+	r := s.Run()
+	if r.Cycles != 100 {
+		t.Errorf("cycles = %d, want 100", r.Cycles)
+	}
+}
+
+func TestArchitecturalEquivalencePathAssoc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TC.PathAssoc = true
+	archEqual(t, cfg, chaos(t))
+}
+
+func TestArchitecturalEquivalenceNoInactiveIssue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableInactiveIssue = true
+	archEqual(t, cfg, chaos(t))
+}
+
+func TestStaticPromotionRuns(t *testing.T) {
+	p := sumLoop(t, 2000)
+	cfg := DefaultConfig()
+	cfg.Fill.StaticPromotions = map[int]bool{4: true} // the loop backedge
+	s := mustSim(t, cfg, p)
+	r := s.Run()
+	if r.PromotedExecuted == 0 {
+		t.Error("static promotion inactive")
+	}
+	// The final (not-taken) instance retires unpromoted, so no fault is
+	// required, but the machine must still finish correctly.
+	if r.Retired != 303+2000*3-303-3+6 && r.Retired == 0 {
+		t.Error("no instructions retired")
+	}
+}
+
+func TestNoInactiveIssueReducesFetchedWidth(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	prog := p.MustGenerate()
+	on := DefaultConfig()
+	on.MaxInsts = 40000
+	off := DefaultConfig()
+	off.Name = "no-inactive"
+	off.DisableInactiveIssue = true
+	off.MaxInsts = 40000
+	ron := mustSim(t, on, prog).Run()
+	roff := mustSim(t, off, prog).Run()
+	if ron.EffFetchRate() <= roff.EffFetchRate() {
+		t.Errorf("inactive issue should raise effective fetch rate: %.2f vs %.2f",
+			ron.EffFetchRate(), roff.EffFetchRate())
+	}
+}
+
+// TestSimulationDeterminism runs the same configuration twice and requires
+// bit-identical statistics: no map-iteration order or other nondeterminism
+// may leak into timing. The pinned outputs in the package examples and
+// EXPERIMENTS.md rely on this.
+func TestSimulationDeterminism(t *testing.T) {
+	p, _ := workload.ByName("perl")
+	prog := p.MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Fill = core.DefaultFillConfig(core.PackCostRegulated, 64)
+	cfg.SplitMBP = true
+	cfg.WarmupInsts, cfg.MaxInsts = 30000, 50000
+	a := mustSim(t, cfg, prog).Run()
+	b := mustSim(t, cfg, prog).Run()
+	if *a != *b {
+		t.Fatalf("nondeterministic simulation:\n%+v\nvs\n%+v", a, b)
+	}
+}

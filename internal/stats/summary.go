@@ -1,0 +1,83 @@
+package stats
+
+import "encoding/json"
+
+// Summary is a flat, serialisation-friendly digest of a Run, for tooling
+// that consumes results programmatically (tcsim -json, notebooks, CI
+// trend tracking).
+type Summary struct {
+	Benchmark string  `json:"benchmark"`
+	Config    string  `json:"config"`
+	Cycles    uint64  `json:"cycles"`
+	Retired   uint64  `json:"retired"`
+	IPC       float64 `json:"ipc"`
+
+	EffFetchRate   float64 `json:"effFetchRate"`
+	MeanFetchSize  float64 `json:"meanFetchSize"`
+	FetchedCorrect uint64  `json:"fetchedCorrect"`
+	FetchedWrong   uint64  `json:"fetchedWrong"`
+	TCMissCycles   uint64  `json:"tcMissCycles"`
+
+	CondBranches      uint64  `json:"condBranches"`
+	CondMispredicts   uint64  `json:"condMispredicts"`
+	CondMispredictPct float64 `json:"condMispredictPct"`
+	PromotedExecuted  uint64  `json:"promotedExecuted"`
+	PromotedFaults    uint64  `json:"promotedFaults"`
+	IndirectJumps     uint64  `json:"indirectJumps"`
+	IndirectMisses    uint64  `json:"indirectMisses"`
+	Returns           uint64  `json:"returns"`
+	AvgResolution     float64 `json:"avgResolutionCycles"`
+
+	PredsZeroOrOnePct float64 `json:"predsZeroOrOnePct"`
+	PredsTwoPct       float64 `json:"predsTwoPct"`
+	PredsThreePct     float64 `json:"predsThreePct"`
+
+	CyclePct map[string]float64 `json:"cyclePct"`
+	FetchEnd map[string]float64 `json:"fetchEndPct"`
+}
+
+// Summary digests the run.
+func (r *Run) Summary() Summary {
+	z, two, three := r.PredsFracs()
+	s := Summary{
+		Benchmark:         r.Benchmark,
+		Config:            r.Config,
+		Cycles:            r.Cycles,
+		Retired:           r.Retired,
+		IPC:               r.IPC(),
+		EffFetchRate:      r.EffFetchRate(),
+		MeanFetchSize:     r.Hist.Mean(),
+		FetchedCorrect:    r.FetchedCorrect,
+		FetchedWrong:      r.FetchedWrong,
+		TCMissCycles:      r.TCMissCycles,
+		CondBranches:      r.CondBranches,
+		CondMispredicts:   r.CondMispredicts,
+		CondMispredictPct: 100 * r.CondMispredictRate(),
+		PromotedExecuted:  r.PromotedExecuted,
+		PromotedFaults:    r.PromotedFaults,
+		IndirectJumps:     r.IndirectJumps,
+		IndirectMisses:    r.IndirectMisses,
+		Returns:           r.Returns,
+		AvgResolution:     r.AvgResolution(),
+		PredsZeroOrOnePct: 100 * z,
+		PredsTwoPct:       100 * two,
+		PredsThreePct:     100 * three,
+		CyclePct:          make(map[string]float64, NumCycleClasses),
+		FetchEnd:          make(map[string]float64, NumFetchEnds),
+	}
+	if r.Cycles > 0 {
+		for c := CycleClass(0); c < NumCycleClasses; c++ {
+			s.CyclePct[c.String()] = 100 * float64(r.Cycle[c]) / float64(r.Cycles)
+		}
+	}
+	byEnd := r.Hist.ByEnd()
+	for e := FetchEnd(0); e < NumFetchEnds; e++ {
+		s.FetchEnd[e.String()] = 100 * byEnd[e]
+	}
+	return s
+}
+
+// JSON renders the summary as indented JSON.
+func (s Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

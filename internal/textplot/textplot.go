@@ -1,0 +1,178 @@
+// Package textplot renders tables, bar charts and histograms as plain
+// text, for the experiment harness output.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders a simple aligned table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// barRunes renders a horizontal bar of the given fraction of width.
+func bar(frac float64, width int) string {
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Bars renders one horizontal bar per label, scaled to the maximum value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxv := 0.0
+	lw := 0
+	for i, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+		if i < len(values) && values[i] > maxv {
+			maxv = values[i]
+		}
+	}
+	if maxv == 0 {
+		maxv = 1
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, "%-*s %8.2f |%s|\n", lw, l, v, bar(v/maxv, width))
+	}
+	return b.String()
+}
+
+// GroupedBars renders one group of bars per label, one bar per series.
+// values is indexed [series][label].
+func GroupedBars(title string, labels, series []string, values [][]float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxv := 0.0
+	for _, row := range values {
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	if maxv == 0 {
+		maxv = 1
+	}
+	lw, sw := 0, 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	for _, s := range series {
+		if len(s) > sw {
+			sw = len(s)
+		}
+	}
+	for li, l := range labels {
+		for si, s := range series {
+			v := 0.0
+			if si < len(values) && li < len(values[si]) {
+				v = values[si][li]
+			}
+			name := ""
+			if si == 0 {
+				name = l
+			}
+			fmt.Fprintf(&b, "%-*s %-*s %8.2f |%s|\n", lw, name, sw, s, v, bar(v/maxv, width))
+		}
+	}
+	return b.String()
+}
+
+// Histogram renders a vertical-style histogram as horizontal rows: one row
+// per bin with its frequency.
+func Histogram(title string, bins []string, freqs []float64, width int) string {
+	return Bars(title, bins, freqs, width)
+}
+
+// SignedBars renders bars for values that may be negative (percent
+// changes), with a central axis.
+func SignedBars(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxAbs := 0.0
+	lw := 0
+	for i, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+		if i < len(values) && math.Abs(values[i]) > maxAbs {
+			maxAbs = math.Abs(values[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	half := width / 2
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := int(math.Abs(v)/maxAbs*float64(half) + 0.5)
+		if n > half {
+			n = half
+		}
+		var lane string
+		if v < 0 {
+			lane = strings.Repeat(" ", half-n) + strings.Repeat("#", n) + "|" + strings.Repeat(" ", half)
+		} else {
+			lane = strings.Repeat(" ", half) + "|" + strings.Repeat("#", n) + strings.Repeat(" ", half-n)
+		}
+		fmt.Fprintf(&b, "%-*s %+8.1f%% %s\n", lw, l, v, lane)
+	}
+	return b.String()
+}

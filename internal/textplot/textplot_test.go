@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Name", "Value"}, [][]string{
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") || !strings.Contains(lines[0], "Value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if strings.Index(lines[0], "Value") != strings.Index(lines[2], "1") {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestBarsScaleToMax(t *testing.T) {
+	out := Bars("title", []string{"a", "bb"}, []float64{1, 2}, 10)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####.....") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+}
+
+func TestBarsZeroAndMissingValues(t *testing.T) {
+	out := Bars("", []string{"a", "b"}, []float64{0}, 8)
+	if !strings.Contains(out, "........") {
+		t.Errorf("zero bar wrong: %q", out)
+	}
+	// Missing value for "b" renders as zero without panicking.
+	if !strings.Contains(out, "b") {
+		t.Error("missing label row")
+	}
+}
+
+func TestBarClamping(t *testing.T) {
+	if got := bar(2.0, 4); got != "####" {
+		t.Errorf("overflow bar = %q", got)
+	}
+	if got := bar(-1, 4); got != "...." {
+		t.Errorf("negative bar = %q", got)
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("t", []string{"x", "y"}, []string{"s1", "s2"},
+		[][]float64{{1, 2}, {3, 4}}, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Label appears only on the first series row of each group.
+	if !strings.HasPrefix(lines[1], "x") || strings.HasPrefix(lines[2], "x") {
+		t.Errorf("grouping wrong: %q %q", lines[1], lines[2])
+	}
+	// Global scale: the 4.0 bar is full.
+	if !strings.Contains(lines[4], strings.Repeat("#", 8)) {
+		t.Errorf("max bar: %q", lines[4])
+	}
+}
+
+func TestSignedBars(t *testing.T) {
+	out := SignedBars("t", []string{"up", "down"}, []float64{10, -20}, 20)
+	if !strings.Contains(out, "+10.0%") || !strings.Contains(out, "-20.0%") {
+		t.Errorf("values missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	up, down := lines[1], lines[2]
+	// Positive bars sit right of the axis, negative bars left.
+	if !strings.Contains(up, "|#") {
+		t.Errorf("positive bar wrong: %q", up)
+	}
+	if !strings.Contains(down, "#|") {
+		t.Errorf("negative bar wrong: %q", down)
+	}
+}
+
+func TestSignedBarsZero(t *testing.T) {
+	out := SignedBars("", []string{"z"}, []float64{0}, 10)
+	if !strings.Contains(out, "+0.0%") {
+		t.Errorf("zero row: %q", out)
+	}
+}
+
+func TestHistogramDelegates(t *testing.T) {
+	h := Histogram("h", []string{"0", "1"}, []float64{0.5, 0.5}, 10)
+	b := Bars("h", []string{"0", "1"}, []float64{0.5, 0.5}, 10)
+	if h != b {
+		t.Error("histogram should render like bars")
+	}
+}

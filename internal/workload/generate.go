@@ -1,0 +1,433 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+)
+
+// Memory layout of generated programs.
+const (
+	streamBase  uint64 = 0x0100000 // branch-condition stream array
+	counterBase uint64 = 0x0800000 // patterned-branch counters
+	workBase    uint64 = 0x1000000 // load/store working set
+	tableBase   uint64 = 0x1800000 // switch jump tables
+)
+
+// Register conventions of generated code.
+const (
+	rScratchLo         = 1 // r1..r10: filler scratch
+	rScratchHi         = 10
+	rLoop0     isa.Reg = 11 // loop counters by nesting depth (r11..r13)
+	rWorkAddr  isa.Reg = 15
+	rStreamBas isa.Reg = 16
+	rStreamOff isa.Reg = 17
+	rWorkBase  isa.Reg = 18
+	rVal       isa.Reg = 20 // last stream value
+	rPattern   isa.Reg = 24
+	rAddr      isa.Reg = 25
+	rSwitch    isa.Reg = 27
+	rOuter     isa.Reg = 28
+	rTmp       isa.Reg = 29 // extracted branch-condition field
+	rConst0    isa.Reg = 14 // branch-probability threshold constants
+	rConst1    isa.Reg = 21
+	rConst2    isa.Reg = 22
+	rConst3    isa.Reg = 23
+	rConst4    isa.Reg = 30
+	rConst5    isa.Reg = 31
+	rConst6    isa.Reg = 19
+	rConst7    isa.Reg = 26
+)
+
+// Stream values carry streamValueBits of entropy; branches consume
+// branchFieldBits at a time, so one load feeds several branch decisions
+// and dynamic fetch blocks stay small (the paper's machines see roughly
+// five-instruction blocks).
+const (
+	streamValueBits  = 48
+	branchFieldBits  = 8
+	branchFieldRange = 1 << branchFieldBits
+)
+
+// Branch-probability thresholds preloaded into constant registers by main,
+// so a stream branch costs three instructions (field extract, shift,
+// compare-and-branch). With both branch senses, the reachable dominant
+// probabilities are {1.6, 9.4, 25, 50, 75, 90.6, 98.4}%.
+var threshConsts = []struct {
+	reg    isa.Reg
+	thresh int64
+}{
+	{rConst0, 4},   // 1.6%
+	{rConst1, 24},  // 9.4%
+	{rConst2, 64},  // 25%
+	{rConst3, 128}, // 50%
+	{rConst4, 232}, // 90.6%
+	{rConst5, 240}, // 93.75%
+	{rConst6, 248}, // 96.9%
+	{rConst7, 252}, // 98.4%
+}
+
+type gen struct {
+	p        Profile
+	b        *program.Builder
+	rnd      *rand.Rand
+	labelSeq int
+	nextCtr  uint64
+	nextTbl  uint64
+	// bitsLeft tracks how many unconsumed random bits remain in rVal at
+	// the current emission point; any construct that clobbers rVal or
+	// breaks straight-line determinism resets it.
+	bitsLeft int
+}
+
+// Generate builds the synthetic program for the profile.
+func (p Profile) Generate() (*program.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		p:       p,
+		b:       program.NewBuilder(p.Name),
+		rnd:     rand.New(rand.NewSource(p.Seed)),
+		nextCtr: counterBase,
+		nextTbl: tableBase,
+	}
+	// Emit functions leaf-first: f(i) may call f(j) for j < i.
+	for i := 0; i < p.Funcs; i++ {
+		g.emitFunc(i)
+	}
+	g.emitMain()
+	g.emitStreamData()
+	return g.b.Build()
+}
+
+// MustGenerate is Generate, panicking on error; profiles returned by
+// Profiles are always valid.
+func (p Profile) MustGenerate() *program.Program {
+	prog, err := p.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, g.labelSeq)
+}
+
+func (g *gen) rangeInt(r [2]int) int {
+	if r[1] <= r[0] {
+		return r[0]
+	}
+	return r[0] + g.rnd.Intn(r[1]-r[0]+1)
+}
+
+func (g *gen) scratch() isa.Reg {
+	return isa.Reg(rScratchLo + g.rnd.Intn(rScratchHi-rScratchLo+1))
+}
+
+func (g *gen) emitMain() {
+	b := g.b
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rStreamBas, Imm: int64(streamBase)})
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rStreamOff, Imm: 0})
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rWorkBase, Imm: int64(workBase)})
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rOuter, Imm: g.p.OuterTrips})
+	for _, tc := range threshConsts {
+		b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: tc.reg, Imm: tc.thresh})
+	}
+	b.Here("outer")
+	top := 4
+	if top > g.p.Funcs {
+		top = g.p.Funcs
+	}
+	for i := 0; i < top; i++ {
+		b.EmitTo(isa.Inst{Op: isa.OpCall}, fmt.Sprintf("f%d", g.p.Funcs-1-i))
+	}
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: rOuter, Rs1: rOuter, Imm: -1})
+	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: rOuter, Rs2: 0}, "outer")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+}
+
+func (g *gen) emitFunc(idx int) {
+	g.bitsLeft = 0 // callers leave rVal in an unknown state
+	g.b.Here(fmt.Sprintf("f%d", idx))
+	n := g.rangeInt(g.p.StepsPerFunc)
+	for i := 0; i < n; i++ {
+		g.emitStep(idx, 0)
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpRet})
+}
+
+// emitStep emits one body element: a trap, a switch, a call, a loop, or a
+// conditional construct over filler code.
+func (g *gen) emitStep(fidx, depth int) {
+	p := g.p
+	r := g.rnd.Float64()
+	switch {
+	case r < p.TrapProb:
+		g.b.Emit(isa.Inst{Op: isa.OpTrap})
+	case r < p.TrapProb+p.SwitchProb:
+		g.emitSwitch()
+	case r < p.TrapProb+p.SwitchProb+p.CallProb && fidx > 0:
+		g.b.EmitTo(isa.Inst{Op: isa.OpCall}, fmt.Sprintf("f%d", g.rnd.Intn(fidx)))
+		g.bitsLeft = 0 // the callee consumed stream bits
+	case r < p.TrapProb+p.SwitchProb+p.CallProb+p.LoopProb && depth < 2:
+		g.emitLoop(fidx, depth)
+	default:
+		if g.rnd.Float64() < 0.5 {
+			g.emitIfSkip()
+		} else {
+			g.emitDiamond()
+		}
+	}
+}
+
+// emitLoop emits a counted loop whose body is one or two nested steps.
+func (g *gen) emitLoop(fidx, depth int) {
+	trip := g.rangeInt(g.p.TripCount)
+	// Inner loops iterate less, so nests do not monopolise the dynamic
+	// stream.
+	for d := 0; d < depth; d++ {
+		trip = (trip + 3) / 4
+	}
+	if trip < 2 {
+		trip = 2
+	}
+	ctr := rLoop0 + isa.Reg(depth)
+	head := g.label("loop")
+	g.b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: ctr, Imm: int64(trip)})
+	g.bitsLeft = 0 // each iteration re-enters with rVal in a different state
+	g.b.Here(head)
+	body := 1 + g.rnd.Intn(2)
+	for i := 0; i < body; i++ {
+		g.emitStep(fidx, depth+1)
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpAddI, Rd: ctr, Rs1: ctr, Imm: -1})
+	g.b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: ctr, Rs2: 0}, head)
+	g.bitsLeft = 0
+}
+
+// emitIfSkip emits a conditional branch over a filler block.
+func (g *gen) emitIfSkip() {
+	skip := g.label("skip")
+	g.emitCondBranch(skip)
+	g.emitFiller(g.rangeInt(g.p.FillerSize))
+	g.b.Here(skip)
+}
+
+// emitDiamond emits an if/else with filler in both arms.
+func (g *gen) emitDiamond() {
+	els, join := g.label("else"), g.label("join")
+	g.emitCondBranch(els)
+	g.emitFiller(g.rangeInt(g.p.FillerSize))
+	g.b.EmitTo(isa.Inst{Op: isa.OpJmp}, join)
+	g.b.Here(els)
+	g.emitFiller(g.rangeInt(g.p.FillerSize))
+	g.b.Here(join)
+}
+
+// emitSwitch emits an indirect jump through a jump table, selecting a case
+// from the stream value.
+func (g *gen) emitSwitch() {
+	ways := g.p.SwitchWays
+	tbl := g.nextTbl
+	g.nextTbl += uint64(ways) * 8
+	g.emitStreamLoad()
+	g.b.Emit(isa.Inst{Op: isa.OpAndI, Rd: rSwitch, Rs1: rVal, Imm: int64(ways - 1)})
+	g.b.Emit(isa.Inst{Op: isa.OpMulI, Rd: rSwitch, Rs1: rSwitch, Imm: 8})
+	g.b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rAddr, Imm: int64(tbl)})
+	g.b.Emit(isa.Inst{Op: isa.OpAdd, Rd: rAddr, Rs1: rAddr, Rs2: rSwitch})
+	g.b.Emit(isa.Inst{Op: isa.OpLoad, Rd: rSwitch, Rs1: rAddr})
+	g.b.Emit(isa.Inst{Op: isa.OpJmpInd, Rs1: rSwitch})
+	g.bitsLeft = 0 // rVal consumed by the case selector
+	join := g.label("swjoin")
+	for w := 0; w < ways; w++ {
+		g.b.Word(tbl+uint64(w)*8, int64(g.b.PC()))
+		g.emitFiller(2 + g.rnd.Intn(4))
+		if w != ways-1 {
+			g.b.EmitTo(isa.Inst{Op: isa.OpJmp}, join)
+		}
+	}
+	g.b.Here(join)
+}
+
+// branch behavioural classes.
+type branchClass int
+
+const (
+	clsBiased branchClass = iota
+	clsSemiBiased
+	clsPatterned
+	clsRandom
+)
+
+func (g *gen) pickClass() branchClass {
+	r := g.rnd.Float64()
+	m := g.p.Mix
+	switch {
+	case r < m.Biased:
+		return clsBiased
+	case r < m.Biased+m.SemiBiased:
+		return clsSemiBiased
+	case r < m.Biased+m.SemiBiased+m.Patterned:
+		return clsPatterned
+	default:
+		return clsRandom
+	}
+}
+
+// emitCondBranch emits the condition computation and a conditional branch
+// to target, drawn from the profile's behavioural mix.
+func (g *gen) emitCondBranch(target string) {
+	switch g.pickClass() {
+	case clsPatterned:
+		g.emitPatternedBranch(target)
+	case clsBiased:
+		if g.rnd.Float64() < 0.55 {
+			// A pure one-way branch (never-failing check): the prime
+			// promotion candidate. One instruction.
+			cond := isa.CondEQ // always taken: r0 == r0
+			if g.rnd.Float64() < 0.5 {
+				cond = isa.CondNE // never taken
+			}
+			g.b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: cond}, target)
+			return
+		}
+		pt := g.p.BiasedProb
+		if g.rnd.Float64() < 0.5 {
+			pt = 1 - pt // dominant direction is not-taken
+		}
+		g.emitStreamBranch(target, pt)
+	case clsSemiBiased:
+		pt := g.p.SemiBiasedProb
+		if pt == 0 {
+			pt = 0.92
+		}
+		if g.rnd.Float64() < 0.5 {
+			pt = 1 - pt
+		}
+		g.emitStreamBranch(target, pt)
+	default:
+		lo, hi := g.p.RandomProb[0], g.p.RandomProb[1]
+		g.emitStreamBranch(target, lo+g.rnd.Float64()*(hi-lo))
+	}
+}
+
+// emitStreamLoad advances the stream pointer and loads the next value into
+// rVal (uniform in [0, streamValueRange)).
+func (g *gen) emitStreamLoad() {
+	mask := int64(g.p.StreamWords-1) * 8
+	g.b.Emit(isa.Inst{Op: isa.OpAddI, Rd: rStreamOff, Rs1: rStreamOff, Imm: 8})
+	g.b.Emit(isa.Inst{Op: isa.OpAndI, Rd: rStreamOff, Rs1: rStreamOff, Imm: mask})
+	g.b.Emit(isa.Inst{Op: isa.OpAdd, Rd: rAddr, Rs1: rStreamBas, Rs2: rStreamOff})
+	g.b.Emit(isa.Inst{Op: isa.OpLoad, Rd: rVal, Rs1: rAddr})
+}
+
+// emitStreamBranch emits a branch taken with probability (nearest to) pt,
+// conditioned on the next branchFieldBits-wide slice of the random stream.
+// One stream load feeds several consecutive branches and the threshold
+// comes from a preloaded constant register, so most branches cost three
+// instructions and dynamic fetch blocks stay small (the paper's machines
+// see roughly five-instruction blocks).
+func (g *gen) emitStreamBranch(target string, pt float64) {
+	reg, cond := nearestThreshold(pt)
+	if g.bitsLeft < branchFieldBits {
+		g.emitStreamLoad()
+		g.bitsLeft = streamValueBits
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpAndI, Rd: rTmp, Rs1: rVal, Imm: branchFieldRange - 1})
+	g.b.Emit(isa.Inst{Op: isa.OpShrI, Rd: rVal, Rs1: rVal, Imm: branchFieldBits})
+	g.bitsLeft -= branchFieldBits
+	g.b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: cond, Rs1: rTmp, Rs2: reg}, target)
+}
+
+// nearestThreshold picks the constant register and branch sense whose
+// taken probability is closest to pt.
+func nearestThreshold(pt float64) (isa.Reg, isa.Cond) {
+	bestReg, bestCond := threshConsts[0].reg, isa.CondLT
+	bestErr := 2.0
+	for _, tc := range threshConsts {
+		p := float64(tc.thresh) / branchFieldRange
+		if e := abs(p - pt); e < bestErr {
+			bestErr, bestReg, bestCond = e, tc.reg, isa.CondLT
+		}
+		if e := abs((1 - p) - pt); e < bestErr {
+			bestErr, bestReg, bestCond = e, tc.reg, isa.CondGE
+		}
+	}
+	return bestReg, bestCond
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// emitPatternedBranch emits a branch taken once every `period` executions,
+// driven by a per-site counter in memory.
+func (g *gen) emitPatternedBranch(target string) {
+	period := g.p.PatternPeriods[g.rnd.Intn(len(g.p.PatternPeriods))]
+	addr := g.nextCtr
+	g.nextCtr += 8
+	g.b.Word(addr, int64(g.rnd.Intn(period))) // random phase
+	g.b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rAddr, Imm: int64(addr)})
+	g.b.Emit(isa.Inst{Op: isa.OpLoad, Rd: rPattern, Rs1: rAddr})
+	g.b.Emit(isa.Inst{Op: isa.OpAddI, Rd: rPattern, Rs1: rPattern, Imm: 1})
+	g.b.Emit(isa.Inst{Op: isa.OpStore, Rs1: rAddr, Rs2: rPattern})
+	g.b.Emit(isa.Inst{Op: isa.OpAndI, Rd: rTmp, Rs1: rPattern, Imm: int64(period - 1)})
+	g.b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Rs1: rTmp, Rs2: 0}, target)
+}
+
+// emitFiller emits n instructions of straight-line code: ALU work on the
+// scratch registers with occasional loads and stores to the working set.
+func (g *gen) emitFiller(n int) {
+	for n > 0 {
+		r := g.rnd.Float64()
+		switch {
+		case r < 0.14 && n >= 3:
+			g.emitWorkAddr()
+			g.b.Emit(isa.Inst{Op: isa.OpLoad, Rd: g.scratch(), Rs1: rWorkAddr})
+			n -= 3
+		case r < 0.24 && n >= 3:
+			g.emitWorkAddr()
+			g.b.Emit(isa.Inst{Op: isa.OpStore, Rs1: rWorkAddr, Rs2: g.scratch()})
+			n -= 3
+		default:
+			g.b.Emit(g.fillerALU())
+			n--
+		}
+	}
+}
+
+// emitWorkAddr computes a working-set address from a scratch value.
+func (g *gen) emitWorkAddr() {
+	mask := int64(g.p.WorkWords-1) * 8
+	g.b.Emit(isa.Inst{Op: isa.OpAndI, Rd: rWorkAddr, Rs1: g.scratch(), Imm: mask})
+	g.b.Emit(isa.Inst{Op: isa.OpAdd, Rd: rWorkAddr, Rs1: rWorkAddr, Rs2: rWorkBase})
+}
+
+func (g *gen) fillerALU() isa.Inst {
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpXor, isa.OpAnd, isa.OpOr, isa.OpAdd, isa.OpSub}
+	r := g.rnd.Float64()
+	op := ops[g.rnd.Intn(len(ops))]
+	if r < 0.08 {
+		op = isa.OpMul
+	} else if r < 0.09 {
+		op = isa.OpDiv
+	}
+	return isa.Inst{Op: op, Rd: g.scratch(), Rs1: g.scratch(), Rs2: g.scratch()}
+}
+
+// emitStreamData fills the branch-condition stream with uniform values.
+func (g *gen) emitStreamData() {
+	for i := 0; i < g.p.StreamWords; i++ {
+		g.b.Word(streamBase+uint64(i)*8, g.rnd.Int63n(1<<streamValueBits))
+	}
+}

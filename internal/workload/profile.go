@@ -1,0 +1,368 @@
+// Package workload generates the synthetic benchmark programs that stand
+// in for the SPECint95 and UNIX applications of the paper's Table 1. Each
+// profile controls the dynamic-stream characteristics that drive the
+// paper's results: basic-block size, the fraction of strongly biased
+// branches, loop structure, call/return/indirect mix, code footprint
+// (instruction cache pressure) and data footprint (memory-scheduler
+// pressure). The programs compute nothing meaningful; their dynamic
+// instruction streams are the product.
+package workload
+
+import "fmt"
+
+// BranchMix gives the fraction of conditional branch sites in each
+// behavioural class. Biased branches go one way with very high probability
+// (~98%: promotion candidates); semi-biased branches lean strongly one way
+// (~94%) but flip often enough that the bias table rarely promotes them;
+// patterned branches follow a repeating period (gnuplot's
+// promote-then-fault behaviour uses long periods); the remainder are
+// data-dependent with mid-range probabilities — the hard branches that set
+// the misprediction floor.
+type BranchMix struct {
+	Biased     float64
+	SemiBiased float64
+	Patterned  float64
+}
+
+// Profile parameterises one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// PaperInsts is the instruction count the paper simulated (Table 1),
+	// recorded for documentation; runs use a configurable budget.
+	PaperInsts string
+	// PaperInput is the input set listed in Table 1, if any.
+	PaperInput string
+
+	// Code shape.
+	Funcs        int    // functions in the call DAG
+	StepsPerFunc [2]int // body steps per function [min,max]
+	FillerSize   [2]int // straight-line filler instructions per step
+
+	// Branch behaviour. Probabilities are mapped to the nearest value the
+	// generated code can express (see generate.go).
+	Mix            BranchMix
+	BiasedProb     float64 // dominant-direction probability, biased class
+	SemiBiasedProb float64 // dominant-direction probability, semi-biased class
+	RandomProb     [2]float64
+	PatternPeriods []int // power-of-two periods for patterned branches
+
+	// Loops.
+	LoopProb  float64
+	TripCount [2]int
+
+	// Calls, indirect jumps, traps (per step probabilities).
+	CallProb   float64
+	SwitchProb float64
+	SwitchWays int // power of two
+	TrapProb   float64
+
+	// Memory behaviour.
+	StreamWords int // power of two; the branch-condition stream
+	WorkWords   int // power of two; load/store working set
+
+	// OuterTrips bounds the outer loop so programs halt; simulations are
+	// normally budget-limited long before this.
+	OuterTrips int64
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if p.Funcs < 1 {
+		return fmt.Errorf("workload %s: need at least one function", p.Name)
+	}
+	for _, pow2 := range []struct {
+		name string
+		v    int
+	}{{"StreamWords", p.StreamWords}, {"WorkWords", p.WorkWords}, {"SwitchWays", p.SwitchWays}} {
+		if pow2.v <= 0 || pow2.v&(pow2.v-1) != 0 {
+			return fmt.Errorf("workload %s: %s = %d not a positive power of two", p.Name, pow2.name, pow2.v)
+		}
+	}
+	if p.Mix.Biased+p.Mix.SemiBiased+p.Mix.Patterned > 1 {
+		return fmt.Errorf("workload %s: branch mix exceeds 1", p.Name)
+	}
+	if p.StepsPerFunc[0] < 1 || p.StepsPerFunc[1] < p.StepsPerFunc[0] {
+		return fmt.Errorf("workload %s: bad StepsPerFunc", p.Name)
+	}
+	if p.FillerSize[0] < 0 || p.FillerSize[1] < p.FillerSize[0] {
+		return fmt.Errorf("workload %s: bad FillerSize", p.Name)
+	}
+	if p.TripCount[0] < 1 || p.TripCount[1] < p.TripCount[0] {
+		return fmt.Errorf("workload %s: bad TripCount", p.Name)
+	}
+	if len(p.PatternPeriods) == 0 {
+		return fmt.Errorf("workload %s: no pattern periods", p.Name)
+	}
+	for _, k := range p.PatternPeriods {
+		if k <= 1 || k&(k-1) != 0 {
+			return fmt.Errorf("workload %s: pattern period %d not a power of two > 1", p.Name, k)
+		}
+	}
+	return nil
+}
+
+func base(name string, seed int64) Profile {
+	return Profile{
+		Name:           name,
+		Seed:           seed,
+		Funcs:          24,
+		StepsPerFunc:   [2]int{6, 12},
+		FillerSize:     [2]int{1, 4},
+		Mix:            BranchMix{Biased: 0.72, SemiBiased: 0.21, Patterned: 0.02},
+		BiasedProb:     0.984,
+		SemiBiasedProb: 0.938,
+		RandomProb:     [2]float64{0.65, 0.85},
+		PatternPeriods: []int{16, 32},
+		LoopProb:       0.25,
+		TripCount:      [2]int{12, 48},
+		CallProb:       0.12,
+		SwitchProb:     0.02,
+		SwitchWays:     4,
+		TrapProb:       0.0005,
+		StreamWords:    1 << 13,
+		WorkWords:      1 << 12,
+		OuterTrips:     1 << 40,
+	}
+}
+
+// Profiles returns the fifteen benchmark profiles of Table 1, in the
+// paper's order.
+func Profiles() []Profile {
+	var out []Profile
+
+	p := base("compress", 101)
+	p.PaperInsts, p.PaperInput = "95M", "modified test.in (30000 elements)"
+	p.Funcs = 10
+	p.StepsPerFunc = [2]int{5, 9}
+	p.FillerSize = [2]int{1, 5}
+	p.Mix = BranchMix{Biased: 0.66, SemiBiased: 0.26, Patterned: 0.03}
+	p.LoopProb = 0.40
+	p.TripCount = [2]int{16, 96}
+	p.WorkWords = 1 << 17 // 1MB working set: data cache misses matter
+	p.CallProb = 0.06
+	out = append(out, p)
+
+	p = base("gcc", 102)
+	p.PaperInsts, p.PaperInput = "157M", "jump.i"
+	p.Funcs = 110
+	p.StepsPerFunc = [2]int{8, 16}
+	p.FillerSize = [2]int{0, 2} // small blocks: branchy compiler code
+	p.Mix = BranchMix{Biased: 0.68, SemiBiased: 0.27, Patterned: 0.02}
+	p.RandomProb = [2]float64{0.6, 0.8}
+	p.LoopProb = 0.18
+	p.TripCount = [2]int{8, 24}
+	p.CallProb = 0.16
+	p.SwitchProb = 0.04
+	p.SwitchWays = 8
+	out = append(out, p)
+
+	p = base("go", 103)
+	p.PaperInsts, p.PaperInput = "151M", "2stone9.in (abbreviated)"
+	p.Funcs = 100
+	p.StepsPerFunc = [2]int{8, 14}
+	p.FillerSize = [2]int{0, 2}
+	p.Mix = BranchMix{Biased: 0.52, SemiBiased: 0.30, Patterned: 0.03} // hardest branches
+	p.RandomProb = [2]float64{0.5, 0.72}
+	p.LoopProb = 0.20
+	p.TripCount = [2]int{6, 16}
+	p.CallProb = 0.14
+	out = append(out, p)
+
+	p = base("ijpeg", 104)
+	p.PaperInsts, p.PaperInput = "500M", "penguin.ppm"
+	p.Funcs = 18
+	p.StepsPerFunc = [2]int{5, 10}
+	p.FillerSize = [2]int{5, 12} // long straight-line DSP-style blocks
+	p.Mix = BranchMix{Biased: 0.72, SemiBiased: 0.22, Patterned: 0.02}
+	p.LoopProb = 0.45
+	p.TripCount = [2]int{8, 64}
+	p.CallProb = 0.08
+	p.WorkWords = 1 << 15
+	out = append(out, p)
+
+	p = base("li", 105)
+	p.PaperInsts, p.PaperInput = "500M", "train.lsp"
+	p.Funcs = 30
+	p.StepsPerFunc = [2]int{3, 7} // small interpreter functions
+	p.FillerSize = [2]int{0, 2}
+	p.Mix = BranchMix{Biased: 0.70, SemiBiased: 0.24, Patterned: 0.02}
+	p.CallProb = 0.30 // call/return heavy
+	p.SwitchProb = 0.05
+	p.LoopProb = 0.12
+	p.TripCount = [2]int{8, 24}
+	out = append(out, p)
+
+	p = base("m88ksim", 106)
+	p.PaperInsts, p.PaperInput = "493M", "dhry.test"
+	p.Funcs = 22
+	p.StepsPerFunc = [2]int{6, 11}
+	p.FillerSize = [2]int{2, 6}
+	p.Mix = BranchMix{Biased: 0.72, SemiBiased: 0.22, Patterned: 0.02}
+	p.LoopProb = 0.35
+	p.TripCount = [2]int{8, 48}
+	p.SwitchProb = 0.04
+	p.SwitchWays = 8
+	out = append(out, p)
+
+	p = base("perl", 107)
+	p.PaperInsts, p.PaperInput = "41M", "scrabbl.pl"
+	p.Funcs = 44
+	p.StepsPerFunc = [2]int{6, 12}
+	p.FillerSize = [2]int{1, 4}
+	p.Mix = BranchMix{Biased: 0.66, SemiBiased: 0.28, Patterned: 0.02}
+	p.CallProb = 0.22
+	p.SwitchProb = 0.06 // opcode dispatch
+	p.SwitchWays = 8
+	p.LoopProb = 0.15
+	out = append(out, p)
+
+	p = base("vortex", 108)
+	p.PaperInsts, p.PaperInput = "214M", "vortex.in (abbreviated)"
+	p.Funcs = 96
+	p.StepsPerFunc = [2]int{7, 13}
+	p.FillerSize = [2]int{2, 6}
+	p.Mix = BranchMix{Biased: 0.86, SemiBiased: 0.10, Patterned: 0.01} // famously biased
+	p.CallProb = 0.24
+	p.LoopProb = 0.10
+	p.TripCount = [2]int{4, 12}
+	p.WorkWords = 1 << 16
+	out = append(out, p)
+
+	p = base("gnuchess", 109)
+	p.PaperInsts = "119M"
+	p.Funcs = 36
+	p.StepsPerFunc = [2]int{7, 13}
+	p.FillerSize = [2]int{1, 4}
+	p.Mix = BranchMix{Biased: 0.60, SemiBiased: 0.28, Patterned: 0.03}
+	p.RandomProb = [2]float64{0.45, 0.72}
+	p.LoopProb = 0.25
+	p.TripCount = [2]int{6, 32}
+	p.CallProb = 0.15
+	out = append(out, p)
+
+	p = base("ghostscript", 110)
+	p.PaperInsts = "180M"
+	p.Funcs = 90
+	p.StepsPerFunc = [2]int{7, 13}
+	p.FillerSize = [2]int{1, 5}
+	p.Mix = BranchMix{Biased: 0.66, SemiBiased: 0.26, Patterned: 0.03}
+	p.CallProb = 0.18
+	p.SwitchProb = 0.04
+	p.LoopProb = 0.22
+	out = append(out, p)
+
+	p = base("pgp", 111)
+	p.PaperInsts = "322M"
+	p.Funcs = 20
+	p.StepsPerFunc = [2]int{5, 10}
+	p.FillerSize = [2]int{4, 10} // crypto kernels: long blocks
+	p.Mix = BranchMix{Biased: 0.70, SemiBiased: 0.22, Patterned: 0.03}
+	p.LoopProb = 0.42
+	p.TripCount = [2]int{16, 80}
+	p.CallProb = 0.06
+	out = append(out, p)
+
+	p = base("python", 112)
+	p.PaperInsts = "220M"
+	p.Funcs = 72
+	p.StepsPerFunc = [2]int{5, 10}
+	p.FillerSize = [2]int{0, 2}
+	p.Mix = BranchMix{Biased: 0.68, SemiBiased: 0.25, Patterned: 0.02}
+	p.CallProb = 0.24
+	p.SwitchProb = 0.08 // bytecode dispatch
+	p.SwitchWays = 8
+	p.LoopProb = 0.14
+	out = append(out, p)
+
+	p = base("gnuplot", 113)
+	p.PaperInsts = "284M"
+	p.Funcs = 26
+	p.StepsPerFunc = [2]int{6, 11}
+	p.FillerSize = [2]int{1, 5}
+	// gnuplot is the paper's example of premature promotion: branches stay
+	// biased for long stretches, then flip. Long pattern periods make a
+	// branch cross the promotion threshold and then fault.
+	p.Mix = BranchMix{Biased: 0.48, SemiBiased: 0.14, Patterned: 0.32}
+	p.PatternPeriods = []int{64, 128, 256}
+	p.LoopProb = 0.30
+	p.TripCount = [2]int{8, 48}
+	out = append(out, p)
+
+	p = base("sim-outorder", 114)
+	p.PaperInsts = "100M"
+	p.Funcs = 34
+	p.StepsPerFunc = [2]int{7, 13}
+	p.FillerSize = [2]int{1, 4}
+	p.Mix = BranchMix{Biased: 0.64, SemiBiased: 0.27, Patterned: 0.04}
+	p.LoopProb = 0.28
+	p.TripCount = [2]int{6, 24}
+	p.CallProb = 0.14
+	p.SwitchProb = 0.04
+	out = append(out, p)
+
+	p = base("tex", 115)
+	p.PaperInsts = "164M"
+	// tex shows the worst packing redundancy in Table 4: a large number of
+	// distinct paths through mid-bias branches, so packed segments rarely
+	// recur at the same start.
+	p.Funcs = 100
+	p.StepsPerFunc = [2]int{8, 15}
+	p.FillerSize = [2]int{0, 2}
+	p.Mix = BranchMix{Biased: 0.58, SemiBiased: 0.30, Patterned: 0.04}
+	p.RandomProb = [2]float64{0.5, 0.7}
+	p.LoopProb = 0.12
+	p.TripCount = [2]int{6, 16}
+	p.CallProb = 0.16
+	out = append(out, p)
+
+	return out
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in paper order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ShortName returns the abbreviated benchmark label used on the paper's
+// graph axes.
+func ShortName(name string) string {
+	switch name {
+	case "compress":
+		return "comp"
+	case "m88ksim":
+		return "m88k"
+	case "vortex":
+		return "vor"
+	case "gnuchess":
+		return "ch"
+	case "ghostscript":
+		return "gs"
+	case "gnuplot":
+		return "plot"
+	case "python":
+		return "py"
+	case "sim-outorder":
+		return "ss"
+	}
+	return name
+}

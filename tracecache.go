@@ -1,0 +1,167 @@
+// Package tracecache is a cycle-level reproduction of "Improving Trace
+// Cache Effectiveness with Branch Promotion and Trace Packing" (Patel,
+// Evers, Patt; ISCA 1998).
+//
+// The library contains a complete execution-driven superscalar simulator —
+// a small RISC ISA, an architectural interpreter with checkpoint repair, a
+// trace-cache fetch mechanism with a fill unit implementing branch
+// promotion and trace packing, multiple-branch predictors, a cache
+// hierarchy, and an out-of-order execution core with conservative or
+// perfect memory disambiguation — plus synthetic stand-ins for the paper's
+// benchmark suite and a harness regenerating every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	prog, _ := tracecache.BenchmarkProgram("gcc")
+//	run, _ := tracecache.Simulate(tracecache.BaselineConfig(), prog)
+//	fmt.Printf("IPC %.2f, effective fetch rate %.2f\n", run.IPC(), run.EffFetchRate())
+//
+// The named configurations mirror the paper's machines: BaselineConfig is
+// the Section 3 trace cache; PromotionConfig adds Section 4's branch
+// promotion; PackingConfig adds Section 5's trace packing; BestConfig
+// combines promotion with cost-regulated packing; OracleConfig applies
+// Section 6's perfect memory disambiguation.
+package tracecache
+
+import (
+	"tracecache/internal/config"
+	"tracecache/internal/core"
+	"tracecache/internal/experiments"
+	"tracecache/internal/program"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+	"tracecache/internal/workload"
+)
+
+// Core types of the public API.
+type (
+	// Config parameterises one simulated machine.
+	Config = sim.Config
+	// Run holds the statistics of one simulation.
+	Run = stats.Run
+	// Program is an executable image for the simulated ISA.
+	Program = program.Program
+	// Profile parameterises a synthetic benchmark generator.
+	Profile = workload.Profile
+	// BranchMix gives the behavioural composition of a profile's branches.
+	BranchMix = workload.BranchMix
+	// PackPolicy selects how the fill unit splits blocks across segments.
+	PackPolicy = core.PackPolicy
+	// Simulator runs one program under one configuration.
+	Simulator = sim.Simulator
+	// Experiment regenerates one table or figure of the paper.
+	Experiment = experiments.Experiment
+	// Runner executes experiment simulations with memoization.
+	Runner = experiments.Runner
+)
+
+// Packing policies (Section 5 of the paper).
+const (
+	// PackAtomic never splits fetch blocks (the baseline).
+	PackAtomic = core.PackAtomic
+	// PackUnregulated greedily fills every segment slot.
+	PackUnregulated = core.PackUnregulated
+	// PackChunk2 packs only even numbers of instructions.
+	PackChunk2 = core.PackChunk2
+	// PackChunk4 packs only multiples of four instructions.
+	PackChunk4 = core.PackChunk4
+	// PackCostRegulated packs when at least half the segment is empty or
+	// it contains a tight loop.
+	PackCostRegulated = core.PackCostRegulated
+)
+
+// BaselineConfig returns the paper's baseline trace-cache machine.
+func BaselineConfig() Config { return config.Baseline() }
+
+// ICacheConfig returns the instruction-cache-only reference machine.
+func ICacheConfig() Config { return config.ICache() }
+
+// PromotionConfig returns the baseline plus branch promotion at the given
+// consecutive-outcome threshold.
+func PromotionConfig(threshold uint32) Config { return config.Promotion(threshold) }
+
+// PackingConfig returns the baseline plus unregulated trace packing.
+func PackingConfig() Config { return config.Packing() }
+
+// PromotionPackingConfig combines promotion with the given packing policy.
+func PromotionPackingConfig(policy PackPolicy, threshold uint32) Config {
+	return config.PromotionPacking(policy, threshold)
+}
+
+// BestConfig returns the paper's recommended machine: promotion at
+// threshold 64 with cost-regulated packing.
+func BestConfig() Config { return config.Best() }
+
+// OracleConfig returns the configuration with perfect memory
+// disambiguation (Section 6).
+func OracleConfig(c Config) Config { return config.Oracle(c) }
+
+// ConfigByName returns a named configuration ("baseline", "icache",
+// "promo-t64", "packing", "promo-pack-costreg", ...).
+func ConfigByName(name string) (Config, bool) { return config.ByName(name) }
+
+// ConfigNames lists every named configuration.
+func ConfigNames() []string { return config.Names() }
+
+// Benchmarks lists the benchmark names of the paper's Table 1.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkProfile returns the named benchmark's generator profile.
+func BenchmarkProfile(name string) (Profile, bool) { return workload.ByName(name) }
+
+// BenchmarkProgram generates the synthetic program for a named benchmark.
+func BenchmarkProgram(name string) (*Program, error) {
+	p, ok := workload.ByName(name)
+	if !ok {
+		return nil, errUnknownBenchmark(name)
+	}
+	return p.Generate()
+}
+
+// NewSimulator builds a simulator for the program under the configuration.
+func NewSimulator(cfg Config, prog *Program) (*Simulator, error) {
+	return sim.New(cfg, prog)
+}
+
+// Simulate runs the program to its instruction budget under the
+// configuration and returns the statistics.
+func Simulate(cfg Config, prog *Program) (*Run, error) {
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// Experiments returns every paper table/figure experiment in order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExtensionExperiments returns the ablation studies beyond the paper's
+// figures: static promotion, path associativity, inactive issue, and
+// trace-cache size sensitivity.
+func ExtensionExperiments() []Experiment { return experiments.Extensions() }
+
+// ExperimentByID returns one experiment ("table2", "fig10", ...).
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// ExperimentIDs lists the experiment identifiers in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// NewRunner builds an experiment runner with the given warmup and
+// measurement instruction budgets.
+func NewRunner(warmup, budget uint64) *Runner { return experiments.NewRunner(warmup, budget) }
+
+// Analysis summarises a program's dynamic instruction stream (block sizes,
+// branch bias, call/indirect mix).
+type Analysis = workload.Analysis
+
+// AnalyzeProgram executes the program sequentially for up to limit
+// instructions and summarises its dynamic stream.
+func AnalyzeProgram(p *Program, limit uint64) Analysis { return workload.Analyze(p, limit) }
+
+type errUnknownBenchmark string
+
+func (e errUnknownBenchmark) Error() string {
+	return "tracecache: unknown benchmark " + string(e)
+}

@@ -1,0 +1,130 @@
+package tracecache_test
+
+import (
+	"testing"
+
+	"tracecache"
+)
+
+func TestBenchmarkProgram(t *testing.T) {
+	prog, err := tracecache.BenchmarkProgram("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Code) == 0 {
+		t.Fatal("empty program")
+	}
+	if _, err := tracecache.BenchmarkProgram("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSimulateQuickstart(t *testing.T) {
+	prog, err := tracecache.BenchmarkProgram("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tracecache.BaselineConfig()
+	cfg.MaxInsts = 50000
+	run, err := tracecache.Simulate(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Retired < 50000 || run.IPC() <= 0 || run.EffFetchRate() <= 1 {
+		t.Errorf("run = retired %d, IPC %.2f, eff %.2f", run.Retired, run.IPC(), run.EffFetchRate())
+	}
+}
+
+func TestNamedConfigs(t *testing.T) {
+	names := tracecache.ConfigNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d named configs", len(names))
+	}
+	for _, want := range []string{"icache", "baseline", "packing", "promo-t64", "promo-pack-costreg", "baseline-oracle"} {
+		if _, ok := tracecache.ConfigByName(want); !ok {
+			t.Errorf("config %q missing", want)
+		}
+	}
+	if _, ok := tracecache.ConfigByName("bogus"); ok {
+		t.Error("bogus config found")
+	}
+}
+
+func TestConfigConstructors(t *testing.T) {
+	if tracecache.BaselineConfig().Name != "baseline" {
+		t.Error("baseline name")
+	}
+	if c := tracecache.PromotionConfig(64); c.Fill.PromoteThreshold != 64 || !c.SplitMBP {
+		t.Error("promotion config wrong")
+	}
+	if c := tracecache.PackingConfig(); c.Fill.Packing != tracecache.PackUnregulated {
+		t.Error("packing config wrong")
+	}
+	if c := tracecache.BestConfig(); c.Fill.Packing != tracecache.PackCostRegulated {
+		t.Error("best config wrong")
+	}
+	if c := tracecache.OracleConfig(tracecache.BaselineConfig()); !c.Engine.MemOracle {
+		t.Error("oracle config wrong")
+	}
+}
+
+func TestBenchmarksAndExperimentLists(t *testing.T) {
+	if got := len(tracecache.Benchmarks()); got != 15 {
+		t.Errorf("benchmarks = %d, want 15", got)
+	}
+	if got := len(tracecache.Experiments()); got != 15 {
+		t.Errorf("experiments = %d, want 15 (tables 1-4 + figures 4-16)", got)
+	}
+	if _, ok := tracecache.ExperimentByID("table2"); !ok {
+		t.Error("table2 missing")
+	}
+	if len(tracecache.ExperimentIDs()) != len(tracecache.Experiments()) {
+		t.Error("IDs/Experiments mismatch")
+	}
+}
+
+func TestNewSimulatorExposesStructure(t *testing.T) {
+	prog, _ := tracecache.BenchmarkProgram("compress")
+	cfg := tracecache.BaselineConfig()
+	cfg.MaxInsts = 10000
+	s, err := tracecache.NewSimulator(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.TraceCache() == nil || s.FillUnit() == nil {
+		t.Error("trace config must expose trace cache and fill unit")
+	}
+	if s.TraceCache().Stats().Inserts == 0 {
+		t.Error("no segments built")
+	}
+}
+
+func TestBenchmarkProfileAccess(t *testing.T) {
+	p, ok := tracecache.BenchmarkProfile("gnuplot")
+	if !ok {
+		t.Fatal("gnuplot missing")
+	}
+	if p.Mix.Patterned < 0.2 {
+		t.Error("gnuplot should be pattern-heavy (premature-promotion study)")
+	}
+}
+
+func TestCustomProfile(t *testing.T) {
+	p, _ := tracecache.BenchmarkProfile("compress")
+	p.Name = "custom"
+	p.Funcs = 4
+	prog, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tracecache.BestConfig()
+	cfg.MaxInsts = 20000
+	run, err := tracecache.Simulate(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Retired < 20000 {
+		t.Errorf("retired = %d", run.Retired)
+	}
+}
