@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"tracecache"
+	"tracecache/internal/buildinfo"
 )
 
 func main() {
@@ -26,9 +27,14 @@ func main() {
 		insts    = flag.Uint64("insts", 600_000, "measured instructions per run")
 		list     = flag.Bool("list", false, "list experiments")
 		progress = flag.Bool("progress", false, "log each simulation to stderr")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String("tcbench"))
+		return
+	}
 	if *list {
 		for _, e := range tracecache.Experiments() {
 			fmt.Printf("%-13s %s\n              paper: %s\n", e.ID, e.Title, e.Paper)

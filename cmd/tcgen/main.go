@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"tracecache"
+	"tracecache/internal/buildinfo"
 	"tracecache/internal/isa"
 	"tracecache/internal/textplot"
 	"tracecache/internal/workload"
@@ -20,15 +21,20 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "gcc", "benchmark name")
-		disasm = flag.Bool("disasm", false, "print the disassembly")
-		doStat = flag.Bool("stats", true, "print static and dynamic statistics")
-		limit  = flag.Uint64("limit", 500_000, "dynamic-analysis instruction budget")
-		list   = flag.Bool("list", false, "list benchmarks")
-		save   = flag.String("save", "", "write the program image to this file")
+		bench   = flag.String("bench", "gcc", "benchmark name")
+		disasm  = flag.Bool("disasm", false, "print the disassembly")
+		doStat  = flag.Bool("stats", true, "print static and dynamic statistics")
+		limit   = flag.Uint64("limit", 500_000, "dynamic-analysis instruction budget")
+		list    = flag.Bool("list", false, "list benchmarks")
+		save    = flag.String("save", "", "write the program image to this file")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String("tcgen"))
+		return
+	}
 	if *list {
 		for _, name := range tracecache.Benchmarks() {
 			p, _ := tracecache.BenchmarkProfile(name)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tcsim -bench gcc -config baseline -warmup 400000 -insts 1000000
+//	tcsim -bench gcc -config promote -interval 10000 -timeseries ts.json -trace tr.json
 //	tcsim -list
 package main
 
@@ -15,6 +16,8 @@ import (
 	"strings"
 
 	"tracecache"
+	"tracecache/internal/buildinfo"
+	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/stats"
 	"tracecache/internal/textplot"
@@ -29,9 +32,17 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmarks and configurations")
 		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of the report")
 		progFile = flag.String("prog", "", "run a saved program image (tcgen -save) instead of -bench")
+		version  = flag.Bool("version", false, "print version and exit")
+		interval = flag.Uint64("interval", 10_000, "time-series interval length in cycles")
+		tsOut    = flag.String("timeseries", "", "write windowed time-series telemetry to this file (.csv for CSV, JSON otherwise)")
+		trOut    = flag.String("trace", "", "write a Chrome/Perfetto trace-event file (open at ui.perfetto.dev)")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String("tcsim"))
+		return
+	}
 	if *list {
 		fmt.Println("benchmarks: ", strings.Join(tracecache.Benchmarks(), " "))
 		fmt.Println("configs:    ", strings.Join(tracecache.ConfigNames(), " "))
@@ -63,7 +74,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
 		os.Exit(1)
 	}
+
+	var coll *obs.Collector
+	if *tsOut != "" {
+		coll = obs.NewCollector(*interval)
+		s.SetIntervalCollector(coll)
+	}
+	var chrome *obs.ChromeTrace
+	if *trOut != "" {
+		chrome = obs.NewChromeTrace(0)
+		bus := obs.NewBus(0)
+		bus.Attach(chrome)
+		s.AttachObserver(bus)
+	}
+
 	run := s.Run()
+	if run.Meta != nil {
+		run.Meta.Tool = "tcsim " + buildinfo.Version()
+		if *progFile == "" {
+			if p, ok := tracecache.BenchmarkProfile(*bench); ok {
+				run.Meta.Seed = p.Seed
+			}
+		}
+	}
+
+	if coll != nil {
+		if err := writeSeries(coll.Series(), *tsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if chrome != nil {
+		if err := writeTrace(chrome, run.Meta, *trOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *asJSON {
 		out, err := run.Summary().JSON()
 		if err != nil {
@@ -74,6 +121,38 @@ func main() {
 		return
 	}
 	report(s, run)
+}
+
+// writeSeries writes the time series as JSON, or CSV when the file name
+// ends in .csv.
+func writeSeries(ts *obs.TimeSeries, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = ts.WriteCSV(f)
+	} else {
+		err = ts.WriteJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the Chrome trace-event file.
+func writeTrace(c *obs.ChromeTrace, meta *stats.Meta, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.WriteJSON(f, meta); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func report(s *tracecache.Simulator, run *tracecache.Run) {

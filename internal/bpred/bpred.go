@@ -63,6 +63,16 @@ type PredCtx struct {
 	Path  uint8  // predicted outcomes of earlier slots this cycle (bit i = slot i)
 }
 
+// Counters aggregates predictor activity telemetry: how many dynamic
+// predictions the front end demanded (wrong path included) and how many
+// training updates retired branches applied. The observability layer
+// samples these at interval boundaries to report prediction-bandwidth
+// demand over time.
+type Counters struct {
+	Predictions uint64 // dynamic predictions supplied
+	Updates     uint64 // training updates applied
+}
+
 // MultiPredictor supplies conditional branch predictions for the trace
 // cache front end.
 type MultiPredictor interface {
@@ -77,6 +87,8 @@ type MultiPredictor interface {
 	Update(ctx PredCtx, taken bool)
 	// MaxSlots returns the number of predictions available per cycle.
 	MaxSlots() int
+	// Counters returns the predictor's activity telemetry.
+	Counters() Counters
 }
 
 // TreeMBP is the multiple branch predictor of Figure 3: a gshare-indexed
@@ -88,6 +100,7 @@ type TreeMBP struct {
 	entries  [][7]Counter2
 	mask     uint32
 	histBits uint
+	ctr      Counters
 }
 
 // NewTreeMBP builds the predictor with the given number of entries (a
@@ -130,6 +143,7 @@ func counterFor(slot int, path uint8) int {
 // Predict implements MultiPredictor; the branch PC is ignored (the table
 // is indexed by fetch address, per Figure 3).
 func (t *TreeMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (bool, PredCtx) {
+	t.ctr.Predictions++
 	idx := (uint32(start) ^ uint32(hist)) & t.mask
 	c := counterFor(slot, path)
 	taken := t.entries[idx][c].Taken()
@@ -138,6 +152,7 @@ func (t *TreeMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (b
 
 // Update implements MultiPredictor.
 func (t *TreeMBP) Update(ctx PredCtx, taken bool) {
+	t.ctr.Updates++
 	c := counterFor(int(ctx.Slot), ctx.Path)
 	e := &t.entries[ctx.Index&t.mask]
 	e[c] = e[c].Update(taken)
@@ -146,6 +161,9 @@ func (t *TreeMBP) Update(ctx PredCtx, taken bool) {
 // MaxSlots implements MultiPredictor.
 func (t *TreeMBP) MaxSlots() int { return 3 }
 
+// Counters implements MultiPredictor.
+func (t *TreeMBP) Counters() Counters { return t.ctr }
+
 // SplitMBP is the restructured predictor of Section 4: three independent
 // gshare tables sized for the post-promotion demand (the paper uses
 // 64K/16K/8K counters, 24KB total including storage savings relative to the
@@ -153,6 +171,7 @@ func (t *TreeMBP) MaxSlots() int { return 3 }
 type SplitMBP struct {
 	tables [3][]Counter2
 	masks  [3]uint32
+	ctr    Counters
 }
 
 // NewSplitMBP builds the predictor with per-slot table sizes (powers of
@@ -173,6 +192,7 @@ func NewSplitMBP(first, second, third int) *SplitMBP {
 // Predict implements MultiPredictor; the branch PC is ignored (each table
 // is indexed by fetch address).
 func (s *SplitMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (bool, PredCtx) {
+	s.ctr.Predictions++
 	if slot > 2 {
 		slot = 2
 	}
@@ -182,6 +202,7 @@ func (s *SplitMBP) Predict(start, brPC int, hist uint64, slot int, path uint8) (
 
 // Update implements MultiPredictor.
 func (s *SplitMBP) Update(ctx PredCtx, taken bool) {
+	s.ctr.Updates++
 	slot := int(ctx.Slot)
 	if slot > 2 {
 		slot = 2
@@ -193,6 +214,9 @@ func (s *SplitMBP) Update(ctx PredCtx, taken bool) {
 
 // MaxSlots implements MultiPredictor.
 func (s *SplitMBP) MaxSlots() int { return 3 }
+
+// Counters implements MultiPredictor.
+func (s *SplitMBP) Counters() Counters { return s.ctr }
 
 // SingleHybridMBP adapts the aggressive hybrid single-branch predictor to
 // the trace cache front end: one highly accurate prediction per cycle,
@@ -241,3 +265,7 @@ func (s *SingleHybridMBP) Update(ctx PredCtx, taken bool) {
 
 // MaxSlots implements MultiPredictor.
 func (s *SingleHybridMBP) MaxSlots() int { return 1 }
+
+// Counters implements MultiPredictor, reporting the wrapped hybrid's
+// telemetry.
+func (s *SingleHybridMBP) Counters() Counters { return s.h.Counters() }

@@ -21,6 +21,7 @@ type Hybrid struct {
 	gmask    uint32
 	selector []Counter2
 	pas      *PAs
+	ctr      Counters
 }
 
 // NewHybrid builds the hybrid predictor with the paper's geometry.
@@ -48,6 +49,7 @@ func NewHybridSized(gsize, bhtSize, psize int) *Hybrid {
 // Predict returns the hybrid prediction for the branch at pc under the
 // given global history.
 func (h *Hybrid) Predict(pc int, hist uint64) (bool, HybridCtx) {
+	h.ctr.Predictions++
 	gi := (uint32(pc) ^ uint32(hist)) & h.gmask
 	g := h.gshare[gi].Taken()
 	p := h.pas.Predict(pc)
@@ -61,6 +63,7 @@ func (h *Hybrid) Predict(pc int, hist uint64) (bool, HybridCtx) {
 
 // Update trains both components and the selector with the branch outcome.
 func (h *Hybrid) Update(ctx HybridCtx, taken bool) {
+	h.ctr.Updates++
 	h.gshare[ctx.GIndex] = h.gshare[ctx.GIndex].Update(taken)
 	h.pas.Update(ctx.PC, taken)
 	if ctx.GPred != ctx.PPred {
@@ -68,6 +71,9 @@ func (h *Hybrid) Update(ctx HybridCtx, taken bool) {
 		h.selector[ctx.SIndex] = h.selector[ctx.SIndex].Update(ctx.PPred == taken)
 	}
 }
+
+// Counters returns the hybrid's activity telemetry.
+func (h *Hybrid) Counters() Counters { return h.ctr }
 
 // PAs is a per-address two-level predictor: a branch history table of
 // local histories indexing a shared pattern history table.

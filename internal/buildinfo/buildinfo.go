@@ -1,0 +1,48 @@
+// Package buildinfo identifies the binary that produced a result: the
+// module version (or VCS revision) baked in by the Go linker, via
+// runtime/debug.ReadBuildInfo. Every command exposes it behind -version,
+// and the simulator records it in run metadata.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the best available version string for this build:
+// the module version when built from a tagged module, otherwise the VCS
+// revision (suffixed with "+dirty" for modified trees), otherwise
+// "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+}
+
+// String renders the one-line -version output for the named tool.
+func String(tool string) string {
+	return fmt.Sprintf("%s %s (%s)", tool, Version(), runtime.Version())
+}

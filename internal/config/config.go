@@ -101,12 +101,25 @@ func All() []sim.Config {
 	return out
 }
 
-// ByName returns the named configuration.
+// aliases maps convenience names to canonical configurations.
+var aliases = map[string]func() sim.Config{
+	"promote": func() sim.Config { return Promotion(PromotionThreshold) },
+	"best":    Best,
+	"pack":    Packing,
+}
+
+// ByName returns the named configuration. Besides the canonical names
+// from All(), a few aliases are accepted: "promote" (promotion at the
+// paper's settled threshold), "best" (the recommended combined
+// configuration), and "pack" (unregulated packing).
 func ByName(name string) (sim.Config, bool) {
 	for _, c := range All() {
 		if c.Name == name {
 			return c, true
 		}
+	}
+	if f, ok := aliases[name]; ok {
+		return f(), true
 	}
 	return sim.Config{}, false
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tracecache/internal/isa"
+	"tracecache/internal/obs"
 )
 
 // PackPolicy selects how the fill unit treats fetch blocks that do not fit
@@ -120,6 +121,7 @@ type FillUnit struct {
 	pendingBranches int
 	block           []SegInst
 	stats           FillStats
+	obs             *obs.Bus
 	// OnSegment, when set, observes every finalized segment.
 	OnSegment func(*Segment)
 }
@@ -156,6 +158,11 @@ func (f *FillUnit) Bias() *BiasTable { return f.bias }
 // Stats returns fill activity counters.
 func (f *FillUnit) Stats() FillStats { return f.stats }
 
+// SetObserver attaches an event bus; the fill unit emits segment
+// finalize, packing split, and branch promotion events to it. Events
+// carry no cycle (the fill unit has no clock); the bus stamps them.
+func (f *FillUnit) SetObserver(b *obs.Bus) { f.obs = b }
+
 // Retire feeds one retired instruction to the fill unit. taken is the
 // outcome for conditional branches.
 func (f *FillUnit) Retire(pc int, in isa.Inst, taken bool) {
@@ -171,6 +178,13 @@ func (f *FillUnit) Retire(pc int, in isa.Inst, taken bool) {
 		if dir, count, ok := f.bias.Lookup(pc); ok && count >= f.cfg.PromoteThreshold && dir == taken {
 			si.Promoted = true
 		}
+	}
+	if si.Promoted && f.obs.Enabled(obs.KindPromote) {
+		ev := obs.Event{Kind: obs.KindPromote, PC: pc}
+		if taken {
+			ev.Flags |= obs.FlagTaken
+		}
+		f.obs.Emit(ev)
 	}
 	f.block = append(f.block, si)
 	if in.IsControl() || len(f.block) >= maxBlockBuffer {
@@ -207,6 +221,9 @@ func (f *FillUnit) mergeBlock() {
 		f.appendInsts(blk[:take])
 		blk = blk[take:]
 		f.stats.Splits++
+		if f.obs.Enabled(obs.KindSegPack) {
+			f.obs.Emit(obs.Event{Kind: obs.KindSegPack, PC: blk[0].PC, V1: uint64(take)})
+		}
 		if len(f.pending) == f.cfg.MaxInsts {
 			f.finalize(FinalMaxSize)
 		} else {
@@ -291,6 +308,12 @@ func (f *FillUnit) finalize(reason FinalizeReason) {
 	f.stats.Reasons[reason]++
 	if f.tc != nil {
 		f.tc.Insert(seg)
+	}
+	if f.obs.Enabled(obs.KindSegFinalize) {
+		f.obs.Emit(obs.Event{
+			Kind: obs.KindSegFinalize, PC: seg.Start,
+			V1: uint64(seg.Len()), V2: uint64(reason), V3: uint64(seg.NumPromoted()),
+		})
 	}
 	if f.OnSegment != nil {
 		f.OnSegment(seg)

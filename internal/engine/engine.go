@@ -113,6 +113,7 @@ type Stats struct {
 	Squashed     uint64
 	LoadsBlocked uint64 // loads delayed by the conservative scheduler
 	Forwards     uint64 // store-to-load forwards
+	HighWater    int    // peak instruction window occupancy observed
 }
 
 // New builds an engine over the given data-cache hierarchy.
@@ -180,6 +181,9 @@ func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, late
 		deps: in.deps[:0],
 	}
 	e.stats.Dispatched++
+	if occ := e.InFlight(); occ > e.stats.HighWater {
+		e.stats.HighWater = occ
+	}
 	r := ref{seq: seq, ep: in.ep}
 	for _, s := range srcs {
 		if s >= e.head && s < seq {

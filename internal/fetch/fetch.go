@@ -13,6 +13,7 @@ package fetch
 import (
 	"tracecache/internal/bpred"
 	"tracecache/internal/isa"
+	"tracecache/internal/obs"
 	"tracecache/internal/stats"
 )
 
@@ -111,13 +112,20 @@ type Engine interface {
 	Hist() uint64
 	// RAS returns the current return address stack.
 	RAS() *RASNode
+	// SetObserver attaches an event bus; the engine emits trace cache
+	// hit/miss and icache fetch events to it. A nil bus disables emission.
+	SetObserver(*obs.Bus)
 }
 
 // frontState is the speculative fetch state shared by both engines.
 type frontState struct {
 	hist bpred.History
 	ras  *RASNode
+	obs  *obs.Bus
 }
+
+// SetObserver implements Engine.
+func (f *frontState) SetObserver(b *obs.Bus) { f.obs = b }
 
 // Hist implements Engine.
 func (f *frontState) Hist() uint64 { return f.hist.Reg }

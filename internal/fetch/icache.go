@@ -4,6 +4,7 @@ import (
 	"tracecache/internal/bpred"
 	"tracecache/internal/cache"
 	"tracecache/internal/isa"
+	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/stats"
 )
@@ -156,5 +157,11 @@ func (e *ICacheEngine) Fetch(pc int) *Bundle {
 			fi.HCtx = ctx
 		}
 	}, e.ind)
+	if e.obs.Enabled(obs.KindICacheFetch) {
+		e.obs.Emit(obs.Event{
+			Kind: obs.KindICacheFetch, PC: pc,
+			V1: uint64(len(b.Insts)), V2: uint64(b.Latency),
+		})
+	}
 	return b
 }

@@ -5,6 +5,7 @@ import (
 	"tracecache/internal/cache"
 	"tracecache/internal/core"
 	"tracecache/internal/isa"
+	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/stats"
 )
@@ -68,6 +69,9 @@ func (e *TraceEngine) Fetch(pc int) *Bundle {
 	}
 	if seg == nil {
 		b.TCMiss = true
+		if e.obs.Enabled(obs.KindTCMiss) {
+			e.obs.Emit(obs.Event{Kind: obs.KindTCMiss, PC: pc})
+		}
 		e.icf.fetchBlock(b, pc, &e.frontState, func(brPC int) (bool, func(*FetchedInst)) {
 			taken, ctx := e.cfg.MBP.Predict(pc, brPC, e.hist.Reg, 0, 0)
 			return taken, func(fi *FetchedInst) {
@@ -79,6 +83,12 @@ func (e *TraceEngine) Fetch(pc int) *Bundle {
 	}
 	b.FromTC = true
 	e.walkSegment(b, seg)
+	if e.obs.Enabled(obs.KindTCHit) {
+		e.obs.Emit(obs.Event{
+			Kind: obs.KindTCHit, PC: pc,
+			V1: uint64(len(b.Insts)), V2: uint64(b.PredsUsed),
+		})
+	}
 	return b
 }
 

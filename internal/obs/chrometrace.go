@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"tracecache/internal/stats"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format ("traceEvents"
+// schema), as consumed by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Timestamps are nominally microseconds; the exporter writes one simulated
+// cycle per microsecond, so durations in the viewer read directly as
+// cycles.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level Chrome trace JSON object.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Track (tid) assignments of the exporter.
+const (
+	tracePid        = 1
+	TidTraceFetch   = 1 // fetch records served by the trace cache
+	TidICacheFetch  = 2 // fetch records served by the instruction cache
+	TidRecovery     = 3 // misprediction recovery windows
+	TidFillUnit     = 4 // fill unit segment builds
+	TidPromotion    = 5 // promotion / demotion / fault instants
+	defaultMaxTrace = 1 << 20
+)
+
+// ChromeTrace is a Sink converting bus events into Chrome trace events:
+// fetch-record lifetimes as slices on per-front-end tracks, misprediction
+// recovery windows as slices on a recovery track, fill unit and promotion
+// activity as instants, and window occupancy as a counter track.
+type ChromeTrace struct {
+	events  []TraceEvent
+	max     int
+	dropped uint64
+}
+
+// NewChromeTrace builds the exporter, capping the number of retained
+// trace events (non-positive selects a default; events beyond the cap are
+// counted as dropped).
+func NewChromeTrace(maxEvents int) *ChromeTrace {
+	if maxEvents <= 0 {
+		maxEvents = defaultMaxTrace
+	}
+	return &ChromeTrace{max: maxEvents}
+}
+
+// Kinds implements Sink.
+func (c *ChromeTrace) Kinds() uint64 {
+	return KindFetchRecord.Bit() | KindRedirect.Bit() | KindSegFinalize.Bit() |
+		KindSegPack.Bit() | KindPromote.Bit() | KindDemote.Bit() |
+		KindPromotedFault.Bit() | KindWindowSample.Bit()
+}
+
+// Emit implements Sink.
+func (c *ChromeTrace) Emit(ev Event) {
+	if len(c.events) >= c.max {
+		c.dropped++
+		return
+	}
+	switch ev.Kind {
+	case KindFetchRecord:
+		tid := TidICacheFetch
+		if ev.Flags&FlagFromTC != 0 {
+			tid = TidTraceFetch
+		}
+		name := stats.FetchEnd(ev.V3).String()
+		dur := ev.Dur
+		if dur == 0 {
+			dur = 1 // zero-width slices are invisible in the viewer
+		}
+		c.add(TraceEvent{
+			Name: name, Ph: "X", Ts: ev.Cycle, Dur: dur, Pid: tracePid, Tid: tid,
+			Args: map[string]any{
+				"pc": ev.PC, "dispatched": ev.V1, "retired": ev.V2,
+				"mispredict": ev.Flags&FlagMispredict != 0,
+			},
+		})
+	case KindRedirect:
+		dur := ev.Dur
+		if dur == 0 {
+			dur = 1
+		}
+		c.add(TraceEvent{
+			Name: stats.CycleClass(ev.V1).String(), Ph: "X",
+			Ts: ev.Cycle, Dur: dur, Pid: tracePid, Tid: TidRecovery,
+			Args: map[string]any{"pc": ev.PC},
+		})
+	case KindSegFinalize:
+		c.add(TraceEvent{
+			Name: "segment", Ph: "i", Ts: ev.Cycle, Pid: tracePid, Tid: TidFillUnit,
+			Args: map[string]any{
+				"start": ev.PC, "len": ev.V1, "reason": ev.V2, "promoted": ev.V3,
+			},
+		})
+	case KindSegPack:
+		c.add(TraceEvent{
+			Name: "pack-split", Ph: "i", Ts: ev.Cycle, Pid: tracePid, Tid: TidFillUnit,
+			Args: map[string]any{"pc": ev.PC, "packed": ev.V1},
+		})
+	case KindPromote:
+		c.add(TraceEvent{
+			Name: "promote", Ph: "i", Ts: ev.Cycle, Pid: tracePid, Tid: TidPromotion,
+			Args: map[string]any{"pc": ev.PC, "taken": ev.Flags&FlagTaken != 0},
+		})
+	case KindDemote:
+		c.add(TraceEvent{
+			Name: "demote", Ph: "i", Ts: ev.Cycle, Pid: tracePid, Tid: TidPromotion,
+			Args: map[string]any{"pc": ev.PC, "invalidated": ev.V1},
+		})
+	case KindPromotedFault:
+		c.add(TraceEvent{
+			Name: "promoted-fault", Ph: "i", Ts: ev.Cycle, Pid: tracePid, Tid: TidPromotion,
+			Args: map[string]any{"pc": ev.PC},
+		})
+	case KindWindowSample:
+		c.add(TraceEvent{
+			Name: "window occupancy", Ph: "C", Ts: ev.Cycle, Pid: tracePid,
+			Args: map[string]any{"occupied": ev.V1},
+		})
+	}
+}
+
+func (c *ChromeTrace) add(ev TraceEvent) { c.events = append(c.events, ev) }
+
+// Len returns the number of retained trace events.
+func (c *ChromeTrace) Len() int { return len(c.events) }
+
+// Dropped returns the number of events discarded over the cap.
+func (c *ChromeTrace) Dropped() uint64 { return c.dropped }
+
+// WriteJSON writes the trace file. meta, when non-nil, is embedded in
+// otherData so the trace is self-describing. The output opens directly in
+// Perfetto or chrome://tracing.
+func (c *ChromeTrace) WriteJSON(w io.Writer, meta *stats.Meta) error {
+	events := make([]TraceEvent, 0, len(c.events)+8)
+	for tid, name := range [...]string{
+		TidTraceFetch:  "fetch (trace cache)",
+		TidICacheFetch: "fetch (icache)",
+		TidRecovery:    "mispredict recovery",
+		TidFillUnit:    "fill unit",
+		TidPromotion:   "promotion",
+	} {
+		if name == "" {
+			continue
+		}
+		events = append(events, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	events = append(events, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "tracecache simulator"},
+	})
+	events = append(events, c.events...)
+	tf := TraceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"timeUnit": "1 cycle = 1us"},
+	}
+	if c.dropped > 0 {
+		tf.OtherData["droppedEvents"] = c.dropped
+	}
+	if meta != nil {
+		tf.OtherData["meta"] = meta
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tracecache/internal/stats"
+)
+
+// TestChromeTraceMapping checks each bus event kind maps to a well-formed
+// trace event on its assigned track.
+func TestChromeTraceMapping(t *testing.T) {
+	c := NewChromeTrace(0)
+	c.Emit(Event{Kind: KindFetchRecord, Cycle: 10, Dur: 3, Flags: FlagFromTC, V3: uint64(stats.EndMaxSize)})
+	c.Emit(Event{Kind: KindFetchRecord, Cycle: 20}) // icache, zero-dur
+	c.Emit(Event{Kind: KindRedirect, Cycle: 30, Dur: 12, V1: uint64(stats.CycleBranchMiss)})
+	c.Emit(Event{Kind: KindSegFinalize, Cycle: 40, V1: 16})
+	c.Emit(Event{Kind: KindSegPack, Cycle: 41, V1: 5})
+	c.Emit(Event{Kind: KindPromote, Cycle: 42, Flags: FlagTaken})
+	c.Emit(Event{Kind: KindDemote, Cycle: 43, V1: 2})
+	c.Emit(Event{Kind: KindPromotedFault, Cycle: 44})
+	c.Emit(Event{Kind: KindWindowSample, Cycle: 256, V1: 100})
+	if c.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", c.Len())
+	}
+
+	if ev := c.events[0]; ev.Tid != TidTraceFetch || ev.Name != stats.EndMaxSize.String() {
+		t.Errorf("trace-cache fetch = tid %d name %q", ev.Tid, ev.Name)
+	}
+	if ev := c.events[1]; ev.Tid != TidICacheFetch || ev.Dur == 0 {
+		t.Errorf("icache fetch = tid %d dur %d (zero-dur slice not widened)", ev.Tid, ev.Dur)
+	}
+	if ev := c.events[2]; ev.Tid != TidRecovery || ev.Name != stats.CycleBranchMiss.String() {
+		t.Errorf("recovery slice = tid %d name %q", ev.Tid, ev.Name)
+	}
+	if ev := c.events[8]; ev.Ph != "C" || ev.Args["occupied"] != uint64(100) {
+		t.Errorf("counter sample = %+v", ev)
+	}
+}
+
+// TestChromeTraceCap checks the event cap drops and counts the excess.
+func TestChromeTraceCap(t *testing.T) {
+	c := NewChromeTrace(3)
+	for i := 0; i < 10; i++ {
+		c.Emit(Event{Kind: KindPromote, Cycle: uint64(i + 1)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", c.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	other := tf["otherData"].(map[string]any)
+	if other["droppedEvents"].(float64) != 7 {
+		t.Fatalf("droppedEvents = %v", other["droppedEvents"])
+	}
+}
+
+// TestChromeTraceSchema validates the written file against the trace-event
+// schema: every event has a name, a known phase, and the simulator pid;
+// metadata announces the track names.
+func TestChromeTraceSchema(t *testing.T) {
+	c := NewChromeTrace(0)
+	c.Emit(Event{Kind: KindFetchRecord, Cycle: 1, Dur: 2, Flags: FlagFromTC})
+	c.Emit(Event{Kind: KindWindowSample, Cycle: 256, V1: 17})
+	meta := &stats.Meta{Tool: "schema-test", ConfigHash: "abcd"}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *uint64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	known := map[string]bool{"X": true, "i": true, "C": true, "M": true}
+	var threadNames int
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			t.Errorf("event %d has no name", i)
+		}
+		if !known[ev.Ph] {
+			t.Errorf("event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Pid == 0 {
+			t.Errorf("event %d has no pid", i)
+		}
+		if ev.Name == "thread_name" {
+			threadNames++
+		}
+	}
+	if threadNames != 5 {
+		t.Errorf("thread_name metadata events = %d, want 5", threadNames)
+	}
+	if tf.OtherData["meta"] == nil {
+		t.Error("meta missing from otherData")
+	}
+}

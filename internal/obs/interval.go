@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tracecache/internal/stats"
+)
+
+// Probe is one sample of the simulator's cumulative measured state, taken
+// at interval boundaries. The collector diffs consecutive probes, so every
+// field is a running total since measurement began.
+type Probe struct {
+	// Cycles is the measured cycles elapsed (post-warmup).
+	Cycles uint64
+	// Run is the cumulative measured statistics.
+	Run stats.Run
+	// TCLookups/TCHits are the trace cache's cumulative counters (zero for
+	// the icache front end).
+	TCLookups, TCHits uint64
+	// PredLookups is the cumulative number of dynamic conditional-branch
+	// predictions supplied by the front end's predictor (wrong path
+	// included): the prediction-bandwidth demand.
+	PredLookups uint64
+	// OccSum is the cumulative per-cycle sum of instruction window
+	// occupancy.
+	OccSum uint64
+}
+
+// Interval is one windowed snapshot: the change in the headline metrics
+// over a span of cycles.
+type Interval struct {
+	Index      int    `json:"index"`
+	StartCycle uint64 `json:"startCycle"`
+	Cycles     uint64 `json:"cycles"`
+
+	Retired uint64  `json:"retired"`
+	IPC     float64 `json:"ipc"`
+
+	Fetches        uint64  `json:"fetches"`
+	FetchedCorrect uint64  `json:"fetchedCorrect"`
+	EffFetchRate   float64 `json:"effFetchRate"`
+
+	TCLookups uint64  `json:"tcLookups"`
+	TCHitRate float64 `json:"tcHitRate"`
+
+	CondBranches     uint64  `json:"condBranches"`
+	CondMispredicts  uint64  `json:"condMispredicts"`
+	MispredictRate   float64 `json:"mispredictRate"`
+	PromotedExecuted uint64  `json:"promotedExecuted"`
+	// PromotionCoverage is the fraction of retired conditional branches
+	// covered by a promoted (static) prediction.
+	PromotionCoverage float64 `json:"promotionCoverage"`
+	PromotedFaults    uint64  `json:"promotedFaults"`
+
+	// PredLookups and PredsPerCycle quantify prediction-bandwidth demand.
+	PredLookups   uint64  `json:"predLookups"`
+	PredsPerCycle float64 `json:"predsPerCycle"`
+
+	// AvgWindowOcc is the mean instruction window occupancy.
+	AvgWindowOcc float64 `json:"avgWindowOcc"`
+}
+
+// TimeSeries is the full windowed telemetry of one run.
+type TimeSeries struct {
+	Benchmark      string      `json:"benchmark"`
+	Config         string      `json:"config"`
+	IntervalCycles uint64      `json:"intervalCycles"`
+	Meta           *stats.Meta `json:"meta,omitempty"`
+	Intervals      []Interval  `json:"intervals"`
+}
+
+// AggregateIPC returns total retired over total cycles across all
+// intervals; by construction it equals the run's final IPC.
+func (t *TimeSeries) AggregateIPC() float64 {
+	var retired, cycles uint64
+	for _, iv := range t.Intervals {
+		retired += iv.Retired
+		cycles += iv.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(retired) / float64(cycles)
+}
+
+// WriteJSON renders the time series as indented JSON.
+func (t *TimeSeries) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteCSV renders the intervals as CSV with a header row.
+func (t *TimeSeries) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "index,startCycle,cycles,retired,ipc,"+
+		"fetches,effFetchRate,tcLookups,tcHitRate,condBranches,"+
+		"mispredictRate,promotionCoverage,promotedFaults,predLookups,"+
+		"predsPerCycle,avgWindowOcc"); err != nil {
+		return err
+	}
+	for _, iv := range t.Intervals {
+		if _, err := fmt.Fprintf(w,
+			"%d,%d,%d,%d,%.6f,%d,%.6f,%d,%.6f,%d,%.6f,%.6f,%d,%d,%.6f,%.6f\n",
+			iv.Index, iv.StartCycle, iv.Cycles, iv.Retired, iv.IPC,
+			iv.Fetches, iv.EffFetchRate, iv.TCLookups, iv.TCHitRate,
+			iv.CondBranches, iv.MispredictRate, iv.PromotionCoverage,
+			iv.PromotedFaults, iv.PredLookups, iv.PredsPerCycle,
+			iv.AvgWindowOcc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collector accumulates windowed interval snapshots. The simulator drives
+// it: Reset at the start of measurement (end of warmup), Observe at each
+// interval boundary, and Finish at the end of the run to capture the final
+// partial interval. A nil *Collector is a valid, disabled collector.
+type Collector struct {
+	every   uint64
+	started bool
+	prev    Probe
+	ts      TimeSeries
+}
+
+// NewCollector builds a collector with the given interval length in
+// cycles (non-positive selects 10000).
+func NewCollector(everyCycles uint64) *Collector {
+	if everyCycles == 0 {
+		everyCycles = 10000
+	}
+	return &Collector{every: everyCycles, ts: TimeSeries{IntervalCycles: everyCycles}}
+}
+
+// Every returns the interval length in cycles.
+func (c *Collector) Every() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.every
+}
+
+// Reset establishes the measurement baseline, discarding any intervals
+// collected before it (e.g. if warmup restarted).
+func (c *Collector) Reset(p Probe) {
+	if c == nil {
+		return
+	}
+	c.started = true
+	c.prev = p
+	c.ts.Benchmark = p.Run.Benchmark
+	c.ts.Config = p.Run.Config
+	c.ts.Intervals = c.ts.Intervals[:0]
+}
+
+// Observe closes the current interval at the probe.
+func (c *Collector) Observe(p Probe) {
+	if c == nil || !c.started {
+		return
+	}
+	c.append(p)
+}
+
+// Finish closes the final (possibly partial) interval and attaches the
+// run's provenance metadata.
+func (c *Collector) Finish(p Probe, meta *stats.Meta) {
+	if c == nil || !c.started {
+		return
+	}
+	if p.Cycles > c.prev.Cycles {
+		c.append(p)
+	}
+	c.ts.Meta = meta
+}
+
+// Series returns the collected time series.
+func (c *Collector) Series() *TimeSeries {
+	if c == nil {
+		return &TimeSeries{}
+	}
+	return &c.ts
+}
+
+func (c *Collector) append(p Probe) {
+	prev := &c.prev
+	cycles := p.Cycles - prev.Cycles
+	if cycles == 0 {
+		return
+	}
+	iv := Interval{
+		Index:            len(c.ts.Intervals),
+		StartCycle:       prev.Cycles,
+		Cycles:           cycles,
+		Retired:          p.Run.Retired - prev.Run.Retired,
+		Fetches:          p.Run.Fetches - prev.Run.Fetches,
+		FetchedCorrect:   p.Run.FetchedCorrect - prev.Run.FetchedCorrect,
+		TCLookups:        p.TCLookups - prev.TCLookups,
+		CondBranches:     p.Run.CondBranches - prev.Run.CondBranches,
+		CondMispredicts:  p.Run.CondMispredicts - prev.Run.CondMispredicts,
+		PromotedExecuted: p.Run.PromotedExecuted - prev.Run.PromotedExecuted,
+		PromotedFaults:   p.Run.PromotedFaults - prev.Run.PromotedFaults,
+		PredLookups:      p.PredLookups - prev.PredLookups,
+	}
+	iv.IPC = float64(iv.Retired) / float64(cycles)
+	iv.PredsPerCycle = float64(iv.PredLookups) / float64(cycles)
+	iv.AvgWindowOcc = float64(p.OccSum-prev.OccSum) / float64(cycles)
+	if iv.Fetches > 0 {
+		iv.EffFetchRate = float64(iv.FetchedCorrect) / float64(iv.Fetches)
+	}
+	if iv.TCLookups > 0 {
+		iv.TCHitRate = float64(p.TCHits-prev.TCHits) / float64(iv.TCLookups)
+	}
+	if iv.CondBranches > 0 {
+		iv.MispredictRate = float64(iv.CondMispredicts) / float64(iv.CondBranches)
+		iv.PromotionCoverage = float64(iv.PromotedExecuted) / float64(iv.CondBranches)
+	}
+	c.ts.Intervals = append(c.ts.Intervals, iv)
+	c.prev = p
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"tracecache/internal/stats"
+)
+
+// TestNilCollector exercises the disabled collector.
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	if c.Every() != 0 {
+		t.Fatalf("nil Every = %d", c.Every())
+	}
+	c.Reset(Probe{})
+	c.Observe(Probe{})
+	c.Finish(Probe{}, nil)
+	ts := c.Series()
+	if ts == nil || len(ts.Intervals) != 0 {
+		t.Fatalf("nil collector series = %+v", ts)
+	}
+}
+
+func probeAt(cycles, retired, fetches, correct uint64) Probe {
+	return Probe{
+		Cycles: cycles,
+		Run: stats.Run{
+			Benchmark: "b", Config: "c",
+			Retired: retired, Fetches: fetches, FetchedCorrect: correct,
+		},
+	}
+}
+
+// TestCollectorDiffing checks interval snapshots are deltas of the
+// cumulative probes and that Finish captures the final partial interval.
+func TestCollectorDiffing(t *testing.T) {
+	c := NewCollector(100)
+	c.Reset(probeAt(0, 0, 0, 0))
+	c.Observe(probeAt(100, 250, 20, 240))
+	c.Observe(probeAt(200, 450, 45, 430))
+	meta := &stats.Meta{Tool: "test"}
+	c.Finish(probeAt(250, 500, 60, 480), meta)
+
+	ts := c.Series()
+	if ts.Benchmark != "b" || ts.Config != "c" {
+		t.Fatalf("series identity = %q/%q", ts.Benchmark, ts.Config)
+	}
+	if ts.Meta != meta {
+		t.Fatalf("meta not attached")
+	}
+	if len(ts.Intervals) != 3 {
+		t.Fatalf("intervals = %d, want 3", len(ts.Intervals))
+	}
+	want := []struct {
+		start, cycles, retired uint64
+		ipc                    float64
+	}{
+		{0, 100, 250, 2.5},
+		{100, 100, 200, 2.0},
+		{200, 50, 50, 1.0},
+	}
+	for i, w := range want {
+		iv := ts.Intervals[i]
+		if iv.Index != i || iv.StartCycle != w.start || iv.Cycles != w.cycles ||
+			iv.Retired != w.retired || iv.IPC != w.ipc {
+			t.Errorf("interval %d = %+v, want %+v", i, iv, w)
+		}
+	}
+	// 500 retired / 250 cycles.
+	if got := ts.AggregateIPC(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("AggregateIPC = %v, want 2.0", got)
+	}
+}
+
+// TestCollectorEmptyRun checks the zero-cycle edge case: a run that never
+// advances past the baseline produces no intervals and a zero aggregate.
+func TestCollectorEmptyRun(t *testing.T) {
+	c := NewCollector(100)
+	c.Reset(probeAt(0, 0, 0, 0))
+	c.Finish(probeAt(0, 0, 0, 0), nil)
+	ts := c.Series()
+	if len(ts.Intervals) != 0 {
+		t.Fatalf("empty run produced %d intervals", len(ts.Intervals))
+	}
+	if ts.AggregateIPC() != 0 {
+		t.Fatalf("empty run AggregateIPC = %v", ts.AggregateIPC())
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TimeSeries
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("empty-run JSON does not parse: %v", err)
+	}
+}
+
+// TestCollectorResetDiscards checks Reset drops intervals collected before
+// it (the warmup restart path).
+func TestCollectorResetDiscards(t *testing.T) {
+	c := NewCollector(100)
+	c.Reset(probeAt(0, 0, 0, 0))
+	c.Observe(probeAt(100, 100, 10, 90))
+	c.Reset(probeAt(150, 0, 0, 0))
+	c.Observe(probeAt(250, 300, 30, 280))
+	c.Finish(probeAt(250, 300, 30, 280), nil)
+	ts := c.Series()
+	if len(ts.Intervals) != 1 {
+		t.Fatalf("intervals after Reset = %d, want 1", len(ts.Intervals))
+	}
+	if iv := ts.Intervals[0]; iv.StartCycle != 150 || iv.Retired != 300 {
+		t.Fatalf("interval after Reset = %+v", iv)
+	}
+}
+
+// TestTimeSeriesJSONRoundTrip marshals and unmarshals a series and
+// requires identity.
+func TestTimeSeriesJSONRoundTrip(t *testing.T) {
+	c := NewCollector(10)
+	c.Reset(probeAt(0, 0, 0, 0))
+	c.Observe(probeAt(10, 30, 3, 28))
+	c.Finish(probeAt(17, 40, 5, 38), &stats.Meta{Tool: "rt", ConfigHash: "ff"})
+	ts := c.Series()
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TimeSeries
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != ts.Benchmark || back.IntervalCycles != ts.IntervalCycles ||
+		len(back.Intervals) != len(ts.Intervals) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, ts)
+	}
+	for i := range back.Intervals {
+		if back.Intervals[i] != ts.Intervals[i] {
+			t.Errorf("interval %d: %+v vs %+v", i, back.Intervals[i], ts.Intervals[i])
+		}
+	}
+	if back.Meta == nil || *back.Meta != *ts.Meta {
+		t.Errorf("meta: %+v vs %+v", back.Meta, ts.Meta)
+	}
+}
+
+// TestTimeSeriesCSV checks the CSV header matches the row arity.
+func TestTimeSeriesCSV(t *testing.T) {
+	c := NewCollector(10)
+	c.Reset(probeAt(0, 0, 0, 0))
+	c.Finish(probeAt(10, 25, 2, 24), nil)
+	var buf bytes.Buffer
+	if err := c.Series().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want 2", len(lines))
+	}
+	if h, r := strings.Count(lines[0], ","), strings.Count(lines[1], ","); h != r {
+		t.Fatalf("header has %d commas, row has %d", h, r)
+	}
+}

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"tracecache/internal/core"
 	"tracecache/internal/engine"
@@ -112,6 +113,16 @@ func ICacheConfig() Config {
 	c.Front = FrontICache
 	c.ICacheBytes = 128 << 10
 	return c
+}
+
+// Hash returns a short stable digest of the configuration, recorded in
+// run metadata so results can be traced back to the exact machine that
+// produced them. Two configs hash equally iff every parameter matches
+// (up to the fidelity of the %+v rendering).
+func (c Config) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Validate reports configuration errors.

@@ -1,6 +1,10 @@
 package sim
 
 import (
+	"os"
+	"runtime"
+	"time"
+
 	"tracecache/internal/bpred"
 	"tracecache/internal/cache"
 	"tracecache/internal/core"
@@ -8,6 +12,7 @@ import (
 	"tracecache/internal/exec"
 	"tracecache/internal/fetch"
 	"tracecache/internal/isa"
+	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/stats"
 )
@@ -48,6 +53,7 @@ type dyn struct {
 // retire or are squashed, then classifies it (Figures 4, 6 and 12).
 type fetchRec struct {
 	cycle      uint64
+	pc         int
 	reason     stats.FetchEnd
 	fromTC     bool
 	tcMiss     bool
@@ -117,6 +123,12 @@ type Simulator struct {
 	seqBuf []uint64
 	fiBuf  []*fetch.FetchedInst
 
+	// Observability (all nil/zero by default: the disabled path costs a
+	// nil check per instrumentation site).
+	obs    *obs.Bus
+	coll   *obs.Collector
+	occSum uint64 // per-cycle window occupancy sum (collector enabled only)
+
 	// OnRetireBranch, when set, observes every retiring conditional
 	// branch (a diagnostic hook for per-site analysis tooling).
 	OnRetireBranch func(pc int, taken, mispredicted, promoted bool)
@@ -176,6 +188,10 @@ func New(cfg Config, prog *program.Program) (*Simulator, error) {
 	s.run.Config = cfg.Name
 	s.run.Benchmark = prog.Name
 	s.fetchPC = prog.Entry
+	// One record accrues per fetch cycle for the life of the run; start
+	// with a large capacity so steady-state growth does not re-copy a
+	// multi-megabyte slice every doubling.
+	s.records = make([]fetchRec, 0, 1<<16)
 	return s, nil
 }
 
@@ -191,6 +207,44 @@ func (s *Simulator) Hierarchy() *cache.Hierarchy { return s.hier }
 // Engine returns the execution core.
 func (s *Simulator) Engine() *engine.Engine { return s.eng }
 
+// windowSamplePeriod is the cycle period (a power of two) of the
+// window-occupancy counter samples emitted while an event bus is attached.
+const windowSamplePeriod = 256
+
+// AttachObserver wires an event bus through the fetch engine, the fill
+// unit, and the simulator itself. Attach before Run; a nil bus detaches.
+func (s *Simulator) AttachObserver(b *obs.Bus) {
+	s.obs = b
+	if b != nil {
+		b.SetClock(func() uint64 { return s.cycle })
+	}
+	s.fe.SetObserver(b)
+	if s.fill != nil {
+		s.fill.SetObserver(b)
+	}
+}
+
+// SetIntervalCollector installs a windowed time-series collector; the run
+// loop feeds it a probe every Collector.Every measured cycles, starting at
+// the end of warmup. Install before Run; nil disables collection.
+func (s *Simulator) SetIntervalCollector(c *obs.Collector) { s.coll = c }
+
+// probe samples the cumulative measured state for the interval collector.
+func (s *Simulator) probe() obs.Probe {
+	p := obs.Probe{Cycles: s.cycle - s.cycleBase, Run: s.run, OccSum: s.occSum}
+	if s.tc != nil {
+		st := s.tc.Stats()
+		p.TCLookups, p.TCHits = st.Lookups, st.Hits
+	}
+	switch {
+	case s.mbp != nil:
+		p.PredLookups = s.mbp.Counters().Predictions
+	case s.hyb != nil:
+		p.PredLookups = s.hyb.Counters().Predictions
+	}
+	return p
+}
+
 // Run simulates until the instruction budget, cycle bound, or program halt
 // and returns the collected statistics. When the configuration specifies a
 // warmup, statistics are reset once the warmup instruction count retires —
@@ -198,25 +252,65 @@ func (s *Simulator) Engine() *engine.Engine { return s.eng }
 // so short runs are not dominated by cold-start effects (the paper ran
 // 41M-500M instructions per benchmark).
 func (s *Simulator) Run() *stats.Run {
+	start := time.Now()
 	warm := s.cfg.WarmupInsts
 	warming := warm > 0
+	if !warming && s.coll != nil {
+		s.coll.Reset(s.probe())
+	}
+	every := s.coll.Every()
+	nextMark := every
 	for !s.haltSeen && s.cycle-s.cycleBase < s.cfg.MaxCycles {
 		if warming && s.run.Retired >= warm {
 			warming = false
 			s.resetStats()
+			if s.coll != nil {
+				s.coll.Reset(s.probe())
+			}
 		}
 		if !warming && s.run.Retired >= s.cfg.MaxInsts {
 			break
 		}
 		s.stepCycle()
 		s.cycle++
+		if s.coll != nil && !warming {
+			s.occSum += uint64(s.eng.InFlight())
+			if measured := s.cycle - s.cycleBase; measured >= nextMark {
+				s.coll.Observe(s.probe())
+				nextMark = measured + every
+			}
+		}
+		if s.obs != nil && s.cycle&(windowSamplePeriod-1) == 0 {
+			s.obs.Emit(obs.Event{
+				Kind: obs.KindWindowSample, Cycle: s.cycle,
+				V1: uint64(s.eng.InFlight()),
+			})
+		}
 	}
 	s.run.Cycles = s.cycle - s.cycleBase
+	s.run.Meta = s.buildMeta(start, time.Since(start))
+	if s.coll != nil {
+		s.coll.Finish(s.probe(), s.run.Meta)
+	}
 	// Return a copy: stats.Run is a pure value type, and handing out a
 	// pointer into the Simulator would pin the whole machine (window,
 	// records, caches) for as long as the caller keeps the result.
 	run := s.run
 	return &run
+}
+
+// buildMeta records the run's provenance.
+func (s *Simulator) buildMeta(start time.Time, wall time.Duration) *stats.Meta {
+	host, _ := os.Hostname()
+	return &stats.Meta{
+		ConfigHash:  s.cfg.Hash(),
+		WarmupInsts: s.cfg.WarmupInsts,
+		MaxInsts:    s.cfg.MaxInsts,
+		WallMillis:  float64(wall.Microseconds()) / 1000,
+		GoVersion:   runtime.Version(),
+		Hostname:    host,
+		StartedAt:   start.UTC().Format(time.RFC3339),
+	}
 }
 
 // resetStats zeroes measurement counters at the end of warmup. The cycle
@@ -373,9 +467,17 @@ func (s *Simulator) recoverBranch(d *dyn) {
 		// Promoted fault: handled like an exception; the machine backs up
 		// to the previous checkpoint, modelled as an extra redirect
 		// penalty on top of the misprediction recovery. Check demotion.
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{Kind: obs.KindPromotedFault, Cycle: s.cycle, PC: d.fi.PC})
+		}
 		if s.fill != nil && s.fill.Bias() != nil &&
 			s.fill.Bias().ShouldDemote(d.fi.PC, d.fi.Predicted) {
-			s.tc.InvalidatePromoted(d.fi.PC)
+			n := s.tc.InvalidatePromoted(d.fi.PC)
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{
+					Kind: obs.KindDemote, Cycle: s.cycle, PC: d.fi.PC, V1: uint64(n),
+				})
+			}
 		}
 		s.recover(d, stats.CycleBranchMiss, d.nextPC)
 		s.redirectHold += uint64(s.cfg.FaultPenalty)
@@ -443,6 +545,12 @@ func (s *Simulator) recover(d *dyn, cause stats.CycleClass, target int) {
 	d.resolution = s.cycle - d.fetchCycle
 	s.redirected = true
 	s.recoveryClass = cause
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			Kind: obs.KindRedirect, Cycle: d.fetchCycle, Dur: d.resolution,
+			PC: d.fi.PC, V1: uint64(cause),
+		})
+	}
 }
 
 func (s *Simulator) discardPending(cause stats.CycleClass) {
@@ -599,6 +707,7 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 	recID := len(s.records)
 	s.records = append(s.records, fetchRec{
 		cycle:     s.cycle + uint64(b.Latency),
+		pc:        s.fetchPC,
 		reason:    b.Reason,
 		fromTC:    b.FromTC,
 		tcMiss:    b.TCMiss,
@@ -666,6 +775,22 @@ func (s *Simulator) maybeFinalize(id int) {
 		return // injected instructions still arriving
 	}
 	rec.finalized = true
+	if s.obs != nil && s.obs.Enabled(obs.KindFetchRecord) {
+		ev := obs.Event{
+			Kind: obs.KindFetchRecord, Cycle: rec.cycle, PC: rec.pc,
+			V1: uint64(rec.dispatched), V2: uint64(rec.retired), V3: uint64(rec.reason),
+		}
+		if s.cycle > rec.cycle {
+			ev.Dur = s.cycle - rec.cycle
+		}
+		if rec.fromTC {
+			ev.Flags |= obs.FlagFromTC
+		}
+		if rec.mispredBR {
+			ev.Flags |= obs.FlagMispredict
+		}
+		s.obs.Emit(ev)
+	}
 	if rec.retired > 0 {
 		s.run.Cycle[stats.CycleUseful]++
 		s.run.Fetches++

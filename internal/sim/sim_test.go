@@ -427,6 +427,9 @@ func TestSimulationDeterminism(t *testing.T) {
 	cfg.WarmupInsts, cfg.MaxInsts = 30000, 50000
 	a := mustSim(t, cfg, prog).Run()
 	b := mustSim(t, cfg, prog).Run()
+	// Meta is provenance (wall time, start timestamp), not a statistic;
+	// it differs between runs by construction.
+	a.Meta, b.Meta = nil, nil
 	if *a != *b {
 		t.Fatalf("nondeterministic simulation:\n%+v\nvs\n%+v", a, b)
 	}

@@ -1,0 +1,26 @@
+package stats
+
+// Meta records the provenance of one run so serialized results (summary
+// JSON, time-series files, CI trend data) are self-describing: which
+// binary produced them, under which configuration and budgets, and how
+// long the simulation took on which toolchain.
+type Meta struct {
+	// Tool identifies the producing binary (name and build info).
+	Tool string `json:"tool,omitempty"`
+	// ConfigHash fingerprints the full machine configuration, so results
+	// from silently different configurations never compare as equal.
+	ConfigHash string `json:"configHash,omitempty"`
+	// Seed is the synthetic workload generator seed (0 when unknown).
+	Seed int64 `json:"seed,omitempty"`
+	// WarmupInsts and MaxInsts are the run bounds.
+	WarmupInsts uint64 `json:"warmupInsts"`
+	MaxInsts    uint64 `json:"maxInsts"`
+	// WallMillis is the simulation wall time in milliseconds.
+	WallMillis float64 `json:"wallMillis"`
+	// GoVersion is the runtime that executed the simulation.
+	GoVersion string `json:"goVersion,omitempty"`
+	// Hostname identifies the producing machine.
+	Hostname string `json:"hostname,omitempty"`
+	// StartedAt is the run start in RFC 3339 UTC.
+	StartedAt string `json:"startedAt,omitempty"`
+}

@@ -46,12 +46,17 @@ type FetchHistogram struct {
 }
 
 // Add records a fetch of the given correct-path size and termination.
+// Out-of-range arguments are clamped (an unknown termination counts as
+// the last condition) rather than indexing out of bounds.
 func (h *FetchHistogram) Add(size int, end FetchEnd) {
 	if size < 0 {
 		size = 0
 	}
 	if size > MaxFetchWidth {
 		size = MaxFetchWidth
+	}
+	if end >= NumFetchEnds {
+		end = NumFetchEnds - 1
 	}
 	h.Counts[size][end]++
 }
@@ -145,6 +150,11 @@ func (c CycleClass) String() string {
 type Run struct {
 	Benchmark string
 	Config    string
+
+	// Meta is the run's provenance (attached by the simulator when the
+	// run completes; nil until then). The pointed-to value is immutable
+	// once set, so copies of Run may share it.
+	Meta *Meta
 
 	Cycles  uint64
 	Retired uint64

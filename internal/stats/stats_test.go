@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,19 @@ func TestHistogramClamps(t *testing.T) {
 	h.Add(99, EndMaxSize)
 	if h.Counts[0][EndICache] != 1 || h.Counts[16][EndMaxSize] != 1 {
 		t.Error("clamping failed")
+	}
+}
+
+func TestHistogramClampsEnd(t *testing.T) {
+	var h FetchHistogram
+	h.Add(4, NumFetchEnds)   // first out-of-range value
+	h.Add(4, FetchEnd(200))  // far out of range
+	h.Add(4, NumFetchEnds-1) // last in-range value
+	if got := h.Counts[4][NumFetchEnds-1]; got != 3 {
+		t.Errorf("out-of-range ends not clamped to last condition: count = %d", got)
+	}
+	if h.Total() != 3 {
+		t.Errorf("total = %d", h.Total())
 	}
 }
 
@@ -170,5 +185,69 @@ func TestSummaryRoundTrip(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON missing %q", want)
 		}
+	}
+}
+
+// TestSummaryJSONRoundTrip marshals a summary (with provenance metadata),
+// unmarshals it, and requires the result to be identical.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	r := &Run{
+		Benchmark: "perl", Config: "promo-t64",
+		Cycles: 250, Retired: 600,
+		Fetches: 55, FetchedCorrect: 590, FetchedWrong: 120,
+		CondBranches: 80, CondMispredicts: 6,
+		PromotedExecuted: 25, PromotedFaults: 1,
+		IndirectJumps: 9, IndirectMisses: 2, Returns: 12,
+		ResolutionSum: 90, ResolutionsCounted: 8,
+		PredsPerFetch: [4]uint64{5, 30, 12, 8},
+		Meta: &Meta{
+			Tool: "test v1", ConfigHash: "00ff00ff00ff00ff", Seed: 7,
+			WarmupInsts: 100, MaxInsts: 600, WallMillis: 12.5,
+			GoVersion: "go1.24.0", Hostname: "h", StartedAt: "2026-08-04T00:00:00Z",
+		},
+	}
+	r.Cycle[CycleUseful] = 55
+	r.Cycle[CycleBranchMiss] = 100
+	r.Hist.Add(11, EndMaxSize)
+	r.Hist.Add(5, EndMispredBR)
+
+	s := r.Summary()
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", s, back)
+	}
+	if back.Meta == nil || *back.Meta != *r.Meta {
+		t.Fatalf("meta round trip: %+v vs %+v", back.Meta, r.Meta)
+	}
+}
+
+// TestSummaryEmptyRun digests a zero-value run: no division blows up, the
+// JSON parses, and the absent Meta stays absent.
+func TestSummaryEmptyRun(t *testing.T) {
+	var r Run
+	s := r.Summary()
+	if s.IPC != 0 || s.EffFetchRate != 0 || s.Meta != nil {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"meta"`) {
+		t.Error("empty run serialised a meta block")
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("empty round trip mismatch:\n%+v\nvs\n%+v", s, back)
 	}
 }

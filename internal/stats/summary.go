@@ -34,6 +34,9 @@ type Summary struct {
 
 	CyclePct map[string]float64 `json:"cyclePct"`
 	FetchEnd map[string]float64 `json:"fetchEndPct"`
+
+	// Meta is the run's provenance (nil for runs predating collection).
+	Meta *Meta `json:"meta,omitempty"`
 }
 
 // Summary digests the run.
@@ -64,6 +67,7 @@ func (r *Run) Summary() Summary {
 		PredsThreePct:     100 * three,
 		CyclePct:          make(map[string]float64, NumCycleClasses),
 		FetchEnd:          make(map[string]float64, NumFetchEnds),
+		Meta:              r.Meta,
 	}
 	if r.Cycles > 0 {
 		for c := CycleClass(0); c < NumCycleClasses; c++ {

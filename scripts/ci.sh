@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI for the tracecache repo: tier-1 build+test, vet, and a race pass
+# over the observability layer and the simulator that drives it.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (obs, sim) =="
+go test -race ./internal/obs/... ./internal/sim/...
+
+echo "CI OK"

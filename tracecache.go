@@ -28,6 +28,7 @@ import (
 	"tracecache/internal/config"
 	"tracecache/internal/core"
 	"tracecache/internal/experiments"
+	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
@@ -151,6 +152,43 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // NewRunner builds an experiment runner with the given warmup and
 // measurement instruction budgets.
 func NewRunner(warmup, budget uint64) *Runner { return experiments.NewRunner(warmup, budget) }
+
+// Observability types. An EventBus attached to a Simulator (via
+// Simulator.AttachObserver) receives structured events from the fetch
+// engine, fill unit and recovery machinery; an IntervalCollector (via
+// Simulator.SetIntervalCollector) accumulates windowed time-series
+// telemetry. Both are nil-safe: a detached simulator pays only a nil
+// check per instrumentation site.
+type (
+	// EventBus is the structured-event bus of internal/obs.
+	EventBus = obs.Bus
+	// Event is one structured simulator event.
+	Event = obs.Event
+	// EventSink consumes events from an EventBus.
+	EventSink = obs.Sink
+	// IntervalCollector accumulates per-interval telemetry snapshots.
+	IntervalCollector = obs.Collector
+	// TimeSeries is the windowed telemetry of one run.
+	TimeSeries = obs.TimeSeries
+	// ChromeTrace is an EventSink rendering a Chrome/Perfetto trace file.
+	ChromeTrace = obs.ChromeTrace
+	// Meta is the run-provenance metadata attached to results.
+	Meta = stats.Meta
+)
+
+// NewEventBus builds an event bus with the given ring-buffer capacity
+// (non-positive selects the default).
+func NewEventBus(ringSize int) *EventBus { return obs.NewBus(ringSize) }
+
+// NewIntervalCollector builds a time-series collector snapshotting every
+// everyCycles cycles (zero selects 10000).
+func NewIntervalCollector(everyCycles uint64) *IntervalCollector {
+	return obs.NewCollector(everyCycles)
+}
+
+// NewChromeTrace builds a Chrome/Perfetto trace-event sink retaining at
+// most maxEvents events (non-positive selects the default cap).
+func NewChromeTrace(maxEvents int) *ChromeTrace { return obs.NewChromeTrace(maxEvents) }
 
 // Analysis summarises a program's dynamic instruction stream (block sizes,
 // branch bias, call/indirect mix).
