@@ -60,6 +60,37 @@ func BenchmarkFig14Mispredicts(b *testing.B)          { benchExperiment(b, "fig1
 func BenchmarkFig15ResolutionTime(b *testing.B)       { benchExperiment(b, "fig15") }
 func BenchmarkFig16IdealCore(b *testing.B)            { benchExperiment(b, "fig16") }
 
+// benchSuite runs a fixed slice of experiments on a fresh (unmemoized)
+// runner with the given worker count, so sequential and parallel
+// scheduling can be compared at equal work.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	exps := tracecache.Experiments()[:6] // table1..table3: heavy shared sweeps
+	for i := 0; i < b.N; i++ {
+		r := tracecache.NewRunner(benchWarmup/4, benchBudget/4)
+		r.Workers = workers
+		var sink int
+		err := tracecache.RunExperiments(r, exps, func(e tracecache.Experiment, out string) {
+			sink += len(out)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sink == 0 {
+			b.Fatal("suite produced no output")
+		}
+	}
+}
+
+// BenchmarkSuiteSequential measures experiment-suite wall clock with the
+// worker pool disabled (one simulation at a time).
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel measures the same suite fanned across all cores;
+// on a multi-core machine the ratio to BenchmarkSuiteSequential is the
+// sweep-engine speedup recorded in BENCH_perf.json.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (instructions simulated per second) on the baseline machine.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -3,21 +3,25 @@
 //
 // Usage:
 //
-//	tcbench                 # every experiment
+//	tcbench                 # every experiment, all cores
 //	tcbench -exp table2     # one experiment
 //	tcbench -exp fig10,fig11
+//	tcbench -j 1            # sequential (same output, more wall-clock)
 //	tcbench -list
 //	tcbench -warmup 400000 -insts 1000000 -progress
+//	tcbench -exp fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"tracecache"
 	"tracecache/internal/buildinfo"
+	"tracecache/internal/profiler"
 )
 
 func main() {
@@ -25,9 +29,12 @@ func main() {
 		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions per run")
 		insts    = flag.Uint64("insts", 600_000, "measured instructions per run")
+		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations (1 = sequential)")
 		list     = flag.Bool("list", false, "list experiments")
 		progress = flag.Bool("progress", false, "log each simulation to stderr")
 		version  = flag.Bool("version", false, "print version and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -64,15 +71,30 @@ func main() {
 		}
 	}
 
+	stopProf, err := profiler.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+		os.Exit(1)
+	}
+
 	r := tracecache.NewRunner(*warmup, *insts)
+	r.Workers = *workers
 	if *progress {
 		r.Log = os.Stderr
 	}
-	for _, e := range selected {
+	runErr := tracecache.RunExperiments(r, selected, func(e tracecache.Experiment, out string) {
 		fmt.Printf("==================================================================\n")
 		fmt.Printf("%s: %s\n", e.ID, e.Title)
 		fmt.Printf("paper: %s\n", e.Paper)
 		fmt.Printf("------------------------------------------------------------------\n")
-		fmt.Println(e.Run(r))
+		fmt.Println(out)
+	})
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: %v\n", runErr)
+		os.Exit(1)
 	}
 }

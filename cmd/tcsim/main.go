@@ -18,6 +18,7 @@ import (
 	"tracecache"
 	"tracecache/internal/buildinfo"
 	"tracecache/internal/obs"
+	"tracecache/internal/profiler"
 	"tracecache/internal/program"
 	"tracecache/internal/stats"
 	"tracecache/internal/textplot"
@@ -36,6 +37,8 @@ func main() {
 		interval = flag.Uint64("interval", 10_000, "time-series interval length in cycles")
 		tsOut    = flag.String("timeseries", "", "write windowed time-series telemetry to this file (.csv for CSV, JSON otherwise)")
 		trOut    = flag.String("trace", "", "write a Chrome/Perfetto trace-event file (open at ui.perfetto.dev)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -88,7 +91,16 @@ func main() {
 		s.AttachObserver(bus)
 	}
 
+	stopProf, err := profiler.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+		os.Exit(1)
+	}
 	run := s.Run()
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+		os.Exit(1)
+	}
 	if run.Meta != nil {
 		run.Meta.Tool = "tcsim " + buildinfo.Version()
 		if *progFile == "" {

@@ -120,6 +120,7 @@ type FillUnit struct {
 	pending         []SegInst
 	pendingBranches int
 	block           []SegInst
+	blockScratch    []SegInst // mergeBlock working copy, reused across calls
 	stats           FillStats
 	obs             *obs.Bus
 	// OnSegment, when set, observes every finalized segment.
@@ -193,10 +194,13 @@ func (f *FillUnit) Retire(pc int, in isa.Inst, taken bool) {
 }
 
 // mergeBlock folds the completed block into the pending segment, splitting
-// it per the packing policy when it does not fit.
+// it per the packing policy when it does not fit. The block is copied into
+// a reusable scratch buffer so the collector buffer can be truncated and
+// refilled in place instead of growing a fresh array per block.
 func (f *FillUnit) mergeBlock() {
-	blk := f.block
-	f.block = f.block[len(f.block):]
+	blk := append(f.blockScratch[:0], f.block...)
+	f.blockScratch = blk[:0]
+	f.block = f.block[:0]
 	for len(blk) > 0 {
 		space := f.cfg.MaxInsts - len(f.pending)
 		if len(blk) <= space {

@@ -13,8 +13,6 @@
 package engine
 
 import (
-	"container/heap"
-
 	"tracecache/internal/cache"
 )
 
@@ -68,19 +66,52 @@ type inst struct {
 	doneAt   uint64
 }
 
-// seqHeap is a min-heap of refs ordered by seq (oldest first).
+// seqHeap is a min-heap of refs ordered by seq (oldest first). The push/pop
+// methods are hand-rolled rather than going through container/heap: the
+// interface{} boxing of heap.Push/heap.Pop allocates on every call, and
+// these run millions of times per simulated second.
 type seqHeap []ref
 
-func (h seqHeap) Len() int            { return len(h) }
-func (h seqHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
-func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(ref)) }
-func (h *seqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h seqHeap) Len() int { return len(h) }
+
+func (h *seqHeap) push(r ref) {
+	*h = append(*h, r)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].seq <= s[i].seq {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *seqHeap) pop() ref {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s[r].seq < s[l].seq {
+			min = r
+		}
+		if s[i].seq <= s[min].seq {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // bucketRing must exceed the longest scheduling horizon: schedule (1) +
@@ -102,6 +133,10 @@ type Engine struct {
 	pendingStore seqHeap // conservative: stores with unresolved addresses
 	blockedLoads seqHeap // loads held by the memory scheduler
 	storesByAddr map[uint64][]ref
+
+	// completedBuf backs Tick's return value; it is reused every cycle, so
+	// callers must consume the slice before the next Tick.
+	completedBuf []uint64
 
 	stats Stats
 }
@@ -194,7 +229,7 @@ func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, late
 		}
 	}
 	if isStore {
-		heap.Push(&e.pendingStore, r)
+		e.pendingStore.push(r)
 		e.storesByAddr[addr] = append(e.storesByAddr[addr], r)
 	}
 	if in.depCount == 0 {
@@ -221,7 +256,7 @@ func (e *Engine) minUnresolvedStore() uint64 {
 		r := e.pendingStore[0]
 		in := e.valid(r)
 		if in == nil || in.done {
-			heap.Pop(&e.pendingStore)
+			e.pendingStore.pop()
 			continue
 		}
 		return r.seq
@@ -293,13 +328,13 @@ func (e *Engine) tryStartLoads() {
 		r := e.blockedLoads[0]
 		in := e.valid(r)
 		if in == nil || in.memDone {
-			heap.Pop(&e.blockedLoads)
+			e.blockedLoads.pop()
 			continue
 		}
 		if r.seq > minStore {
 			return // oldest blocked load still cannot bypass
 		}
-		heap.Pop(&e.blockedLoads)
+		e.blockedLoads.pop()
 		e.startMemPhase(in)
 	}
 }
@@ -345,7 +380,7 @@ func (e *Engine) execute(in *inst) {
 	// Loads: AGEN takes the unit latency; then the memory scheduler rules.
 	if !e.cfg.MemOracle && e.minUnresolvedStore() < in.seq {
 		e.stats.LoadsBlocked++
-		heap.Push(&e.blockedLoads, r)
+		e.blockedLoads.push(r)
 		return
 	}
 	e.startMemPhase(in)
@@ -353,11 +388,16 @@ func (e *Engine) execute(in *inst) {
 
 // Tick advances the engine one cycle and returns the sequence numbers of
 // instructions that completed execution this cycle, in ascending order.
+// The returned slice is reused by the next Tick; the caller must consume
+// it before ticking again.
 func (e *Engine) Tick(cycle uint64) []uint64 {
 	e.cycle = cycle
-	var completed []uint64
+	completed := e.completedBuf[:0]
 	bucket := e.buckets[cycle%bucketRing]
-	e.buckets[cycle%bucketRing] = bucket[:0:0]
+	// Reuse the bucket's array: schedule() always targets a future cycle
+	// strictly inside the ring (at most cycle+bucketRing-1), so no event
+	// scheduled while draining can land back in this bucket.
+	e.buckets[cycle%bucketRing] = bucket[:0]
 	for _, ev := range bucket {
 		in := e.valid(ev.ref)
 		if in == nil {
@@ -371,7 +411,7 @@ func (e *Engine) Tick(cycle uint64) []uint64 {
 			}
 		case evReady:
 			if !in.started && !in.done {
-				heap.Push(&e.ready, ev.ref)
+				e.ready.push(ev.ref)
 			}
 		}
 	}
@@ -380,7 +420,7 @@ func (e *Engine) Tick(cycle uint64) []uint64 {
 	e.tryStartLoads()
 	// Select: each functional unit starts the oldest ready instruction.
 	for fu := 0; fu < e.cfg.FUs && e.ready.Len() > 0; {
-		r := heap.Pop(&e.ready).(ref)
+		r := e.ready.pop()
 		in := e.valid(r)
 		if in == nil || in.started || in.done {
 			continue
@@ -388,6 +428,7 @@ func (e *Engine) Tick(cycle uint64) []uint64 {
 		e.execute(in)
 		fu++
 	}
+	e.completedBuf = completed
 	return completed
 }
 

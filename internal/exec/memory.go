@@ -12,9 +12,13 @@ const pageShift = 9 // log2(pageWords)
 
 // Memory is a sparse, paged, word-granular data memory. Addresses are byte
 // addresses; accesses are 8-byte words and are aligned down to 8 bytes.
-// Reads of unmapped memory return zero without allocating.
+// Reads of unmapped memory return zero without allocating. A one-entry
+// page cache short-circuits the map lookup for consecutive accesses to the
+// same page — the common case in the simulator's load/store stream.
 type Memory struct {
-	pages map[uint64]*[pageWords]int64
+	pages    map[uint64]*[pageWords]int64
+	lastPage uint64
+	lastPtr  *[pageWords]int64
 }
 
 // NewMemory returns an empty memory image.
@@ -30,16 +34,24 @@ func split(addr uint64) (page, offset uint64) {
 // Read returns the word at addr (aligned down to 8 bytes).
 func (m *Memory) Read(addr uint64) int64 {
 	pg, off := split(addr)
+	if m.lastPtr != nil && m.lastPage == pg {
+		return m.lastPtr[off]
+	}
 	p := m.pages[pg]
 	if p == nil {
 		return 0
 	}
+	m.lastPage, m.lastPtr = pg, p
 	return p[off]
 }
 
 // Write stores v at addr (aligned down to 8 bytes).
 func (m *Memory) Write(addr uint64, v int64) {
 	pg, off := split(addr)
+	if m.lastPtr != nil && m.lastPage == pg {
+		m.lastPtr[off] = v
+		return
+	}
 	p := m.pages[pg]
 	if p == nil {
 		if v == 0 {
@@ -48,6 +60,7 @@ func (m *Memory) Write(addr uint64, v int64) {
 		p = new([pageWords]int64)
 		m.pages[pg] = p
 	}
+	m.lastPage, m.lastPtr = pg, p
 	p[off] = v
 }
 

@@ -34,32 +34,6 @@ func Extensions() []Experiment {
 	}
 }
 
-// RunConfigured is Run with a per-benchmark configuration hook applied
-// before simulation; static promotion uses it because its annotations
-// depend on the program. Memoization keys on the configuration name.
-func (r *Runner) RunConfigured(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) *stats.Run {
-	key := cfg.Name + "/" + bench
-	if run, ok := r.runs[key]; ok {
-		return run
-	}
-	prog := r.prog(bench)
-	if prep != nil {
-		prep(&cfg, prog)
-	}
-	cfg.WarmupInsts = r.Warmup
-	cfg.MaxInsts = r.Budget
-	s, err := sim.New(cfg, prog)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", key, err))
-	}
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, "running %s...\n", key)
-	}
-	run := s.Run()
-	r.runs[key] = run
-	return run
-}
-
 // StaticPromotionConfig returns the static-promotion machine for one
 // program: the promotion configuration with profile-derived annotations in
 // place of the bias table.

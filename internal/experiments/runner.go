@@ -3,12 +3,32 @@
 // Each experiment formats the same rows and series the paper reports;
 // absolute values differ (different workloads and substrate), but the
 // comparative shapes are the reproduction target.
+//
+// # Concurrency
+//
+// A Runner is safe for concurrent use. Memoization is singleflight: the
+// first caller of a (configuration, benchmark) key simulates it, every
+// concurrent caller of the same key blocks until that simulation finishes
+// and then shares the identical *stats.Run — a run in flight is awaited,
+// never duplicated. Actual simulations are bounded by a worker pool of
+// Workers slots (default GOMAXPROCS); goroutines waiting on an in-flight
+// key do not hold a slot, so fan-out can be arbitrarily wide without
+// deadlock. Each simulation runs single-threaded and is a pure function of
+// its configuration, program, and budgets, so results are bit-identical to
+// sequential execution regardless of Workers (run provenance metadata such
+// as wall time necessarily differs; no simulated statistic does). Sweep,
+// SweepE and RunAll fan work across the pool while returning or emitting
+// results in paper order; with Workers == 1 they degrade to strictly
+// sequential execution, which also makes the Log line order deterministic.
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
@@ -18,16 +38,34 @@ import (
 
 // Runner executes simulations with memoization, so configurations shared
 // between experiments (baseline, promotion, packing) are simulated once.
+// See the package comment for the concurrency contract.
 type Runner struct {
 	// Warmup instructions retire before measurement; Budget instructions
 	// are then measured.
 	Warmup uint64
 	Budget uint64
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Writes are serialized by
+	// the runner, but their order under Workers > 1 follows completion
+	// order, not paper order.
 	Log io.Writer
+	// Workers bounds concurrently executing simulations; non-positive
+	// selects GOMAXPROCS. It must be set before the first Run/Sweep call;
+	// later changes have no effect.
+	Workers int
 
-	progs map[string]*program.Program
-	runs  map[string]*stats.Run
+	logMu sync.Mutex
+
+	mu   sync.Mutex
+	sem  chan struct{} // sized from Workers on first use
+	runs map[string]*runEntry
+}
+
+// runEntry is one singleflight memoization slot: done closes once run/err
+// are final, and they are immutable afterwards.
+type runEntry struct {
+	done chan struct{}
+	run  *stats.Run
+	err  error
 }
 
 // NewRunner builds a runner with the given instruction budgets.
@@ -35,9 +73,38 @@ func NewRunner(warmup, budget uint64) *Runner {
 	return &Runner{
 		Warmup: warmup,
 		Budget: budget,
-		progs:  make(map[string]*program.Program),
-		runs:   make(map[string]*stats.Run),
+		runs:   make(map[string]*runEntry),
 	}
+}
+
+// workers resolves the effective worker-pool size.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire claims a worker slot, creating the pool on first use, and
+// returns the release function.
+func (r *Runner) acquire() func() {
+	r.mu.Lock()
+	if r.sem == nil {
+		r.sem = make(chan struct{}, r.workers())
+	}
+	sem := r.sem
+	r.mu.Unlock()
+	sem <- struct{}{}
+	return func() { <-sem }
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log == nil {
+		return
+	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Log, format, args...)
 }
 
 // Benchmarks returns the benchmark names in paper order.
@@ -55,47 +122,134 @@ func (r *Runner) ShortBenchmarks() []string {
 }
 
 func (r *Runner) prog(bench string) *program.Program {
-	if p, ok := r.progs[bench]; ok {
-		return p
+	p, err := workload.SharedProgram(bench)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	prof, ok := workload.ByName(bench)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
-	}
-	p := prof.MustGenerate()
-	r.progs[bench] = p
 	return p
 }
 
-// Run simulates the benchmark under the configuration (memoized by
-// configuration name).
+// RunE simulates the benchmark under the configuration, memoized by
+// configuration name. Concurrent calls with the same key share one
+// simulation.
+func (r *Runner) RunE(cfg sim.Config, bench string) (*stats.Run, error) {
+	return r.shared(cfg, bench, nil)
+}
+
+// Run is RunE, panicking on error.
 func (r *Runner) Run(cfg sim.Config, bench string) *stats.Run {
-	key := cfg.Name + "/" + bench
-	if run, ok := r.runs[key]; ok {
-		return run
-	}
-	cfg.WarmupInsts = r.Warmup
-	cfg.MaxInsts = r.Budget
-	s, err := sim.New(cfg, r.prog(bench))
+	run, err := r.RunE(cfg, bench)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", key, err))
+		panic(err)
 	}
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, "running %s...\n", key)
-	}
-	run := s.Run()
-	r.runs[key] = run
 	return run
 }
 
-// Sweep runs the configuration over every benchmark and returns runs in
-// paper order.
-func (r *Runner) Sweep(cfg sim.Config) []*stats.Run {
-	out := make([]*stats.Run, 0, len(workload.Names()))
-	for _, b := range workload.Names() {
-		out = append(out, r.Run(cfg, b))
+// RunConfiguredE is RunE with a per-benchmark configuration hook applied
+// before simulation; static promotion uses it because its annotations
+// depend on the program. Memoization keys on the configuration name, so
+// the hook runs at most once per key.
+func (r *Runner) RunConfiguredE(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (*stats.Run, error) {
+	return r.shared(cfg, bench, prep)
+}
+
+// RunConfigured is RunConfiguredE, panicking on error.
+func (r *Runner) RunConfigured(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) *stats.Run {
+	run, err := r.RunConfiguredE(cfg, bench, prep)
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return run
+}
+
+// shared is the singleflight core: at most one goroutine simulates a key;
+// the rest wait for its entry and share the result.
+func (r *Runner) shared(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (*stats.Run, error) {
+	key := cfg.Name + "/" + bench
+	r.mu.Lock()
+	if e, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.run, e.err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	r.runs[key] = e
+	r.mu.Unlock()
+
+	e.run, e.err = r.simulate(key, cfg, bench, prep)
+	close(e.done)
+	return e.run, e.err
+}
+
+// simulate executes one simulation under a worker slot, converting panics
+// from configuration or simulator internals into errors so a bad config in
+// a parallel sweep fails that sweep instead of the process.
+func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (run *stats.Run, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiments: %s: panic: %v", key, p)
+		}
+	}()
+	prog, err := workload.SharedProgram(bench)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	release := r.acquire()
+	defer release()
+	if prep != nil {
+		prep(&cfg, prog)
+	}
+	cfg.WarmupInsts = r.Warmup
+	cfg.MaxInsts = r.Budget
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	r.logf("running %s...\n", key)
+	return s.Run(), nil
+}
+
+// SweepE runs the configuration over every benchmark, fanning the runs
+// across the worker pool, and returns them in paper order. The first error
+// (in paper order) is returned with a nil slice.
+func (r *Runner) SweepE(cfg sim.Config) ([]*stats.Run, error) {
+	names := workload.Names()
+	out := make([]*stats.Run, len(names))
+	if r.workers() <= 1 {
+		for i, b := range names {
+			run, err := r.RunE(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = run
+		}
+		return out, nil
+	}
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, b := range names {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			out[i], errs[i] = r.RunE(cfg, b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Sweep is SweepE, panicking on error.
+func (r *Runner) Sweep(cfg sim.Config) []*stats.Run {
+	runs, err := r.SweepE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return runs
 }
 
 // AvgEffRate returns the mean effective fetch rate of the configuration
@@ -109,12 +263,73 @@ func (r *Runner) AvgEffRate(cfg sim.Config) float64 {
 	return sum / float64(len(runs))
 }
 
-// CachedKeys lists memoized runs (for tests).
+// CachedKeys lists memoized runs (for tests). In-flight keys are included;
+// completed and failed runs are not distinguished.
 func (r *Runner) CachedKeys() []string {
+	r.mu.Lock()
 	keys := make([]string, 0, len(r.runs))
 	for k := range r.runs {
 		keys = append(keys, k)
 	}
+	r.mu.Unlock()
 	sort.Strings(keys)
 	return keys
+}
+
+// RunAll executes the experiments against the runner, fanning them across
+// the worker pool, and calls emit with each experiment's output in the
+// given order (streaming: an experiment is emitted as soon as it and all
+// its predecessors have finished). Panics inside an experiment are
+// converted to errors; emission stops at the first failed experiment and
+// its error is returned, joined with any later failures. With Workers == 1
+// the experiments run strictly sequentially, and later experiments are not
+// started after a failure.
+func RunAll(r *Runner, exps []Experiment, emit func(Experiment, string)) error {
+	if r.workers() <= 1 {
+		for _, e := range exps {
+			out, err := runExperiment(r, e)
+			if err != nil {
+				return err
+			}
+			emit(e, out)
+		}
+		return nil
+	}
+	type result struct {
+		done chan struct{}
+		out  string
+		err  error
+	}
+	results := make([]*result, len(exps))
+	for i, e := range exps {
+		res := &result{done: make(chan struct{})}
+		results[i] = res
+		go func(e Experiment, res *result) {
+			defer close(res.done)
+			res.out, res.err = runExperiment(r, e)
+		}(e, res)
+	}
+	var errs []error
+	for i, res := range results {
+		<-res.done
+		if res.err != nil {
+			errs = append(errs, res.err)
+			continue
+		}
+		if errs == nil {
+			emit(exps[i], res.out)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runExperiment renders one experiment, converting panics (the experiment
+// bodies use the panicking Run/Sweep shims) into errors.
+func runExperiment(r *Runner, e Experiment) (out string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment %s: %v", e.ID, p)
+		}
+	}()
+	return e.Run(r), nil
 }

@@ -66,6 +66,7 @@ type fetchRec struct {
 	caused     bool
 	finalized  bool
 	delivered  bool
+	live       bool
 }
 
 // noProducer marks an architectural (not in-flight) register value.
@@ -107,7 +108,19 @@ type Simulator struct {
 	injectQueue []fetch.FetchedInst
 	injectRec   int
 
-	records []fetchRec
+	// records is a power-of-two ring of fetch records indexed by
+	// fetchID&recMask. A record is live from its fetch until maybeFinalize
+	// or discardPending classifies it; a record can only be referenced by
+	// in-flight window entries, the pending bundle, or the inject queue, so
+	// the number of live records is bounded by the window size plus the
+	// pending bundle — well under the ring capacity.
+	records   []fetchRec
+	recMask   int
+	nextRecID int
+
+	// pendingBuf backs the pending bundle: the fetch engine reuses its
+	// bundle buffer, so the copy must survive until dispatch drains it.
+	pendingBuf []fetch.FetchedInst
 
 	serialHold bool   // a trap/halt has been fetched and not yet cleared
 	serialSeq  uint64 // seq of the dispatched serializing instruction
@@ -188,12 +201,23 @@ func New(cfg Config, prog *program.Program) (*Simulator, error) {
 	s.run.Config = cfg.Name
 	s.run.Benchmark = prog.Name
 	s.fetchPC = prog.Entry
-	// One record accrues per fetch cycle for the life of the run; start
-	// with a large capacity so steady-state growth does not re-copy a
-	// multi-megabyte slice every doubling.
-	s.records = make([]fetchRec, 0, 1<<16)
+	// Fetch records live only while their instructions are in flight, so a
+	// ring with one slot per window entry (plus slack for the pending
+	// bundle) suffices; see the records field comment.
+	recs := 1
+	for recs < size+2 {
+		recs <<= 1
+	}
+	s.records = make([]fetchRec, recs)
+	s.recMask = recs - 1
+	s.pendingBuf = make([]fetch.FetchedInst, 0, cfg.FetchWidth)
 	return s, nil
 }
+
+// rec returns the fetch record with the given ID, which must still be live
+// (referenced by an in-flight instruction, the pending bundle, or the
+// inject queue).
+func (s *Simulator) rec(id int) *fetchRec { return &s.records[id&s.recMask] }
 
 // TraceCache returns the trace cache (nil for the icache configuration).
 func (s *Simulator) TraceCache() *core.TraceCache { return s.tc }
@@ -420,7 +444,7 @@ func (s *Simulator) retireInst(d *dyn) {
 		s.serialHold = false
 	}
 	s.state.ReleaseBefore(d.snapshot)
-	rec := &s.records[d.fetchID]
+	rec := s.rec(d.fetchID)
 	rec.retired++
 	rec.pending--
 	if d.mispredicted && in.IsCondBranch() {
@@ -519,7 +543,7 @@ func (s *Simulator) recover(d *dyn, cause stats.CycleClass, target int) {
 		if y.hasDest && s.renameMap[y.destReg] == seq {
 			s.renameMap[y.destReg] = y.prevProducer
 		}
-		rec := &s.records[y.fetchID]
+		rec := s.rec(y.fetchID)
 		rec.pending--
 		if !rec.caused {
 			rec.cause, rec.caused = cause, true
@@ -533,7 +557,17 @@ func (s *Simulator) recover(d *dyn, cause stats.CycleClass, target int) {
 	s.fe.ResolveEffect(&d.fi, d.taken)
 	s.fetchPC = target
 	s.discardPending(cause)
-	s.injectQueue = s.injectQueue[:0]
+	if len(s.injectQueue) > 0 {
+		s.injectQueue = s.injectQueue[:0]
+		// maybeFinalize skipped the inject record while the queue was
+		// non-empty; if its last in-flight instruction was squashed above,
+		// nothing references it any more and no later event can classify
+		// it. Release the ring slot without touching the statistics (the
+		// record contributes to no counter, as before).
+		if rec := s.rec(s.injectRec); !rec.finalized && rec.pending == 0 && rec.dispatched > 0 {
+			rec.finalized = true
+		}
+	}
 	if s.serialInFl && s.serialSeq >= from {
 		s.serialInFl = false
 		s.serialHold = false
@@ -558,7 +592,7 @@ func (s *Simulator) discardPending(cause stats.CycleClass) {
 		return
 	}
 	id := s.pendingRec
-	rec := &s.records[id]
+	rec := s.rec(id)
 	s.pending = nil
 	s.pendingPos = 0
 	s.pendingBrIdx = -1
@@ -594,7 +628,7 @@ func (s *Simulator) dispatch() bool {
 	delivered := false
 	budget := s.cfg.IssueWidth
 	for budget > 0 && s.pending != nil && s.cycle >= s.deliverAt {
-		rec := &s.records[s.pendingRec]
+		rec := s.rec(s.pendingRec)
 		if !rec.delivered {
 			rec.delivered = true
 			delivered = true
@@ -643,7 +677,7 @@ func (s *Simulator) dispatchInst(fi fetch.FetchedInst, recID int) {
 	}
 	seq := s.eng.Dispatch(s.seqBuf, fi.Inst.IsLoad(), fi.Inst.IsStore(), info.MemAddr, fi.Inst.Latency())
 	d := &s.window[seq&s.mask]
-	rec := &s.records[recID]
+	rec := s.rec(recID)
 	align := rec.tcMiss && rec.dispatched == 0
 	*d = dyn{
 		seq:        seq,
@@ -686,7 +720,7 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 	case s.pending != nil:
 		if s.cycle < s.deliverAt {
 			s.run.Cycle[stats.CycleCacheMiss]++
-			if s.records[s.pendingRec].tcMiss {
+			if s.rec(s.pendingRec).tcMiss {
 				s.run.TCMissCycles++
 			}
 			return
@@ -704,15 +738,21 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 		return
 	}
 	b := s.fe.Fetch(s.fetchPC)
-	recID := len(s.records)
-	s.records = append(s.records, fetchRec{
+	recID := s.nextRecID
+	s.nextRecID++
+	rec := s.rec(recID)
+	if rec.live && !rec.finalized {
+		panic("sim: fetch record ring overflow (live record evicted)")
+	}
+	*rec = fetchRec{
 		cycle:     s.cycle + uint64(b.Latency),
 		pc:        s.fetchPC,
 		reason:    b.Reason,
 		fromTC:    b.FromTC,
 		tcMiss:    b.TCMiss,
 		predsUsed: b.PredsUsed,
-	})
+		live:      true,
+	}
 	if b.TCMiss {
 		s.run.TCMissCycles++
 	}
@@ -723,11 +763,15 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 		// Delivered immediately: this fetch cycle is the record's cycle,
 		// and dispatch next cycle overlaps with the next fetch.
 		s.deliverAt = s.cycle
-		s.records[recID].delivered = true
+		rec.delivered = true
 	}
-	// Copy the bundle (the fetch engine reuses its buffer) and locate the
-	// diverging branch for inactive-issue injection.
-	insts := append([]fetch.FetchedInst(nil), b.Insts...)
+	// Copy the bundle into the reusable pending buffer (the fetch engine
+	// reuses its own) and locate the diverging branch for inactive-issue
+	// injection. Dispatch copies instructions into the window by value, so
+	// nothing references the buffer once the bundle drains — except an
+	// inactive suffix, which attachInactive clones.
+	insts := append(s.pendingBuf[:0], b.Insts...)
+	s.pendingBuf = insts[:0]
 	s.pending = insts
 	s.pendingRec = recID
 	s.pendingPos = 0
@@ -742,7 +786,9 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 }
 
 // attachInactive locates the divergence point; the inactive suffix is
-// attached to the diverging branch when it dispatches.
+// attached to the diverging branch when it dispatches. The suffix is
+// cloned because the diverging branch may hold it in the window long after
+// the pending buffer has been reused by later fetches.
 func (s *Simulator) attachInactive(insts []fetch.FetchedInst) {
 	first := -1
 	for i := range insts {
@@ -758,13 +804,13 @@ func (s *Simulator) attachInactive(insts []fetch.FetchedInst) {
 		return
 	}
 	s.pendingBrIdx = first - 1
-	s.pendingSuffix = insts[first:]
+	s.pendingSuffix = append([]fetch.FetchedInst(nil), insts[first:]...)
 }
 
 // maybeFinalize classifies a fetch record once all of its instructions
 // have retired or been squashed.
 func (s *Simulator) maybeFinalize(id int) {
-	rec := &s.records[id]
+	rec := s.rec(id)
 	if rec.finalized || rec.pending > 0 || rec.dispatched == 0 {
 		return
 	}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSharedProgramCached(t *testing.T) {
+	a, err := SharedProgram("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedProgram("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("SharedProgram regenerated a cached program")
+	}
+	if _, err := SharedProgram("no-such-benchmark"); err == nil {
+		t.Error("unknown benchmark did not error")
+	}
+}
+
+func TestSharedProgramConcurrent(t *testing.T) {
+	// Run under -race in CI: concurrent first-touch of one key must
+	// generate once and hand every caller the same instance.
+	const goroutines = 16
+	got := make([]interface{}, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := SharedProgram("go")
+			if err != nil {
+				t.Errorf("SharedProgram: %v", err)
+				return
+			}
+			got[g] = p
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d got a different program instance", g)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Regenerates BENCH_perf.json, the committed performance trajectory for the
+# simulator. Run on an idle machine:
+#
+#	scripts/bench.sh            # ~1 min
+#	BENCHTIME=5x scripts/bench.sh
+#
+# The pre_pr_baseline block is the frozen measurement taken immediately
+# before the perf PR (sequential runner, pre-diet allocator behaviour) and
+# is preserved verbatim so every later regeneration still shows the
+# trajectory against the same origin.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run xxx -bench 'SimulatorThroughput|Suite' \
+	-benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
+
+# pick BENCH UNIT: prints the value whose following field is UNIT on the
+# line of benchmark BENCH.
+pick() {
+	awk -v bench="$1" -v unit="$2" '
+		$1 ~ "^Benchmark" bench {
+			for (i = 2; i < NF; i++) if ($(i + 1) == unit) { print $i; exit }
+		}' "$TMP"
+}
+
+INSTS_S="$(pick SimulatorThroughput 'insts/s')"
+BYTES_OP="$(pick SimulatorThroughput 'B/op')"
+ALLOCS_OP="$(pick SimulatorThroughput 'allocs/op')"
+SEQ_NS="$(pick SuiteSequential 'ns/op')"
+PAR_NS="$(pick SuiteParallel 'ns/op')"
+
+if [ -z "$INSTS_S" ] || [ -z "$SEQ_NS" ] || [ -z "$PAR_NS" ]; then
+	echo "bench.sh: failed to parse benchmark output" >&2
+	exit 1
+fi
+
+SPEEDUP="$(awk -v s="$SEQ_NS" -v p="$PAR_NS" 'BEGIN { printf "%.2f", s / p }')"
+GOVER="$(go env GOVERSION)"
+CPUS="$(getconf _NPROCESSORS_ONLN)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+cat > BENCH_perf.json <<EOF
+{
+  "generated_utc": "$DATE",
+  "host": { "cpus": $CPUS, "go": "$GOVER" },
+  "benchtime": "$BENCHTIME",
+  "simulator_throughput": {
+    "benchmark": "BenchmarkSimulatorThroughput",
+    "insts_per_sec": $INSTS_S,
+    "bytes_per_op": $BYTES_OP,
+    "allocs_per_op": $ALLOCS_OP
+  },
+  "suite": {
+    "benchmark": "BenchmarkSuiteSequential / BenchmarkSuiteParallel",
+    "sequential_ns_per_op": $SEQ_NS,
+    "parallel_ns_per_op": $PAR_NS,
+    "parallel_speedup": $SPEEDUP
+  },
+  "pre_pr_baseline": {
+    "note": "measured before the parallel sweep engine + allocation diet (sequential runner, cpus=1)",
+    "insts_per_sec": 649169,
+    "bytes_per_op": 211958994,
+    "allocs_per_op": 1678980,
+    "tcbench_exp_all_warmup40k_insts80k_seconds": 50.06
+  }
+}
+EOF
+echo "wrote BENCH_perf.json"

@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI for the tracecache repo: tier-1 build+test, vet, and a race pass
-# over the observability layer and the simulator that drives it.
+# CI for the tracecache repo: tier-1 build+test, vet, a race pass over the
+# observability layer, the simulator, and the parallel sweep engine, and a
+# benchmark smoke step so the perf harness stays runnable.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,12 @@ go test ./...
 
 echo "== go test -race (obs, sim) =="
 go test -race ./internal/obs/... ./internal/sim/...
+
+echo "== go test -race (sweep engine: worker pool + singleflight + program cache) =="
+go test -race -run 'Parallel|Singleflight|RunE|SweepE|RunAll|Shared' \
+	./internal/experiments/ ./internal/workload/
+
+echo "== benchmark smoke =="
+go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .
 
 echo "CI OK"

@@ -150,8 +150,20 @@ func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) 
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // NewRunner builds an experiment runner with the given warmup and
-// measurement instruction budgets.
+// measurement instruction budgets. The runner memoizes simulations and is
+// safe for concurrent use; set Runner.Workers to bound parallel
+// simulations (default GOMAXPROCS).
 func NewRunner(warmup, budget uint64) *Runner { return experiments.NewRunner(warmup, budget) }
+
+// RunExperiments executes the experiments against the runner, fanning the
+// underlying simulations across the runner's worker pool, and calls emit
+// with each experiment's rendered output in the given order (outputs are
+// identical to sequential execution; see the experiments package
+// concurrency contract). The first experiment failure, in order, stops
+// emission and is returned.
+func RunExperiments(r *Runner, exps []Experiment, emit func(Experiment, string)) error {
+	return experiments.RunAll(r, exps, emit)
+}
 
 // Observability types. An EventBus attached to a Simulator (via
 // Simulator.AttachObserver) receives structured events from the fetch
