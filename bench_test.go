@@ -112,6 +112,88 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// warmSweep runs a warmup-heavy five-configuration sweep over two
+// benchmarks on a fresh runner, sequentially (the acceptance scenario is a
+// one-core container). Every run spends 200k instructions on a prefix
+// nobody measures; with ffwd == 0 that prefix is fully cycle-detailed in
+// each of the ten simulations, while a non-zero ffwd replaces that much of
+// it with a functional prefix restored from one shared architectural
+// checkpoint per benchmark (captured once per process, like production
+// sweeps).
+func warmSweep(b *testing.B, ffwd uint64) {
+	b.Helper()
+	const prefix = 200_000
+	configs := []tracecache.Config{
+		tracecache.BaselineConfig(),
+		tracecache.ICacheConfig(),
+		tracecache.PromotionConfig(64),
+		tracecache.PackingConfig(),
+		tracecache.BestConfig(),
+	}
+	benches := []string{"gcc", "go"}
+	for i := 0; i < b.N; i++ {
+		r := tracecache.NewRunner(prefix-ffwd, 20_000)
+		r.FastForward = ffwd
+		r.Workers = 1
+		var retired uint64
+		for _, cfg := range configs {
+			for _, bench := range benches {
+				retired += r.Run(cfg, bench).Retired
+			}
+		}
+		if retired == 0 {
+			b.Fatal("sweep retired nothing")
+		}
+	}
+}
+
+// BenchmarkWarmupSweepDetailed pays the shared prefix cycle-detailed in
+// every sweep point: O(points × prefix) detailed work.
+func BenchmarkWarmupSweepDetailed(b *testing.B) { warmSweep(b, 0) }
+
+// BenchmarkWarmupSweepCheckpointed shares the prefix through one
+// checkpoint per benchmark: O(prefix) functional work plus a short
+// detailed warmup per point. The ratio to BenchmarkWarmupSweepDetailed is
+// the checkpoint-sweep speedup recorded in BENCH_perf.json.
+func BenchmarkWarmupSweepCheckpointed(b *testing.B) { warmSweep(b, 180_000) }
+
+// BenchmarkFastForwardAccuracy reports the statistical cost of replacing
+// detailed warmup with fast-forward as metrics: the same measured region
+// is simulated with an all-detailed 150k warmup and with 100k fast-forward
+// plus 50k detailed warmup, and the per-statistic deltas are recorded in
+// BENCH_perf.json. The runs are deterministic, so the deltas are exact
+// properties of the warming model, not noise.
+func BenchmarkFastForwardAccuracy(b *testing.B) {
+	prog, err := tracecache.BenchmarkProgram("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dIPC, dEff, dMisp float64
+	for i := 0; i < b.N; i++ {
+		det := tracecache.BaselineConfig()
+		det.WarmupInsts, det.MaxInsts = 150_000, 100_000
+		rd, err := tracecache.Simulate(det, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ff := tracecache.BaselineConfig()
+		ff.FastForwardInsts, ff.WarmupInsts, ff.MaxInsts = 100_000, 50_000, 100_000
+		rf, err := tracecache.Simulate(ff, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rd.Retired != rf.Retired {
+			b.Fatalf("measured regions differ: %d vs %d retired", rd.Retired, rf.Retired)
+		}
+		dIPC = 100 * (rf.IPC() - rd.IPC()) / rd.IPC()
+		dEff = 100 * (rf.EffFetchRate() - rd.EffFetchRate()) / rd.EffFetchRate()
+		dMisp = 100 * (rf.CondMispredictRate() - rd.CondMispredictRate())
+	}
+	b.ReportMetric(dIPC, "ipc-delta-%")
+	b.ReportMetric(dEff, "effrate-delta-%")
+	b.ReportMetric(dMisp, "mispredict-delta-pp")
+}
+
 // BenchmarkHeadline reports the paper's headline comparison as metrics:
 // effective fetch rate of baseline vs promotion+packing.
 func BenchmarkHeadline(b *testing.B) {

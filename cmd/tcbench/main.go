@@ -7,6 +7,7 @@
 //	tcbench -exp table2     # one experiment
 //	tcbench -exp fig10,fig11
 //	tcbench -j 1            # sequential (same output, more wall-clock)
+//	tcbench -ffwd 10000000 -warmup 400000   # skip a shared functional prefix
 //	tcbench -list
 //	tcbench -warmup 400000 -insts 1000000 -progress
 //	tcbench -exp fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -27,6 +28,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		ffwd     = flag.Uint64("ffwd", 0, "fast-forward instructions per run (one shared checkpoint per benchmark)")
 		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions per run")
 		insts    = flag.Uint64("insts", 600_000, "measured instructions per run")
 		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations (1 = sequential)")
@@ -78,6 +80,7 @@ func main() {
 	}
 
 	r := tracecache.NewRunner(*warmup, *insts)
+	r.FastForward = *ffwd
 	r.Workers = *workers
 	if *progress {
 		r.Log = os.Stderr

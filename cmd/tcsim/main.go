@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tcsim -bench gcc -config baseline -warmup 400000 -insts 1000000
+//	tcsim -bench gcc -config best -ffwd 10000000 -warmup 400000 -insts 1000000
 //	tcsim -bench gcc -config promote -interval 10000 -timeseries ts.json -trace tr.json
 //	tcsim -list
 package main
@@ -28,6 +29,7 @@ func main() {
 	var (
 		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
 		cfgStr   = flag.String("config", "baseline", "configuration name (see -list)")
+		ffwd     = flag.Uint64("ffwd", 0, "instructions to fast-forward functionally before the detailed phases")
 		warmup   = flag.Uint64("warmup", 400_000, "warmup instructions before measurement")
 		insts    = flag.Uint64("insts", 1_000_000, "measured instructions")
 		list     = flag.Bool("list", false, "list benchmarks and configurations")
@@ -57,6 +59,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tcsim: unknown config %q (try -list)\n", *cfgStr)
 		os.Exit(1)
 	}
+	cfg.FastForwardInsts = *ffwd
 	cfg.WarmupInsts = *warmup
 	cfg.MaxInsts = *insts
 

@@ -1,0 +1,67 @@
+package tracecache_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracecache"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden summary fixtures")
+
+// goldenRuns pins the full Summary of the paper's two headline machines on
+// one benchmark at a fixed small budget. Any change to a simulated
+// statistic — fetch, prediction, promotion, packing, execution timing —
+// shows up as a diff against these fixtures; provenance metadata (wall
+// time, hostname) is stripped because it legitimately varies.
+var goldenRuns = []struct {
+	fixture string
+	config  string
+	bench   string
+}{
+	{"baseline_gcc.json", "baseline", "gcc"},
+	{"promo-pack-costreg_gcc.json", "promo-pack-costreg", "gcc"},
+}
+
+func TestGoldenSummaries(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(g.config, func(t *testing.T) {
+			cfg, ok := tracecache.ConfigByName(g.config)
+			if !ok {
+				t.Fatalf("unknown config %q", g.config)
+			}
+			cfg.WarmupInsts = 40_000
+			cfg.MaxInsts = 80_000
+			prog, err := tracecache.BenchmarkProgram(g.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := tracecache.Simulate(cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.Meta = nil
+			got, err := run.Summary().JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", g.fixture)
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run 'go test -run TestGoldenSummaries -update' to create)", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("summary differs from %s:\n got: %s\nwant: %s\n(if the change is intended, regenerate with -update)",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Package checkpoint implements architectural warm-state checkpointing:
+// snapshot and restore of the configuration-independent machine state
+// (registers, memory pages, call stack, PC, committed-instruction count and
+// the architectural branch-outcome history) after a functional fast-forward
+// of the committed path.
+//
+// A checkpoint captures no microarchitectural state — caches, predictors,
+// the trace cache and the bias table all depend on the machine
+// configuration — so one checkpoint can be forked across every
+// configuration of a sweep: the shared program prefix is executed once per
+// workload instead of once per sweep point, and each configuration then
+// warms its own structures with a (much shorter) detailed warmup. A
+// Checkpoint is immutable after Capture and safe to Restore into any number
+// of states concurrently.
+package checkpoint
+
+import (
+	"fmt"
+
+	"tracecache/internal/exec"
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+)
+
+// Checkpoint is a snapshot of the configuration-independent architectural
+// state of a program at an instruction boundary on the committed path.
+type Checkpoint struct {
+	// Program is the name of the program the checkpoint was captured from;
+	// Restore refuses a mismatched program.
+	Program string
+	// PC is the next instruction to execute.
+	PC int
+	// Insts is the number of committed instructions executed before PC.
+	Insts uint64
+	// Hist is the architectural global branch history at PC: the actual
+	// outcomes of the most recent conditional branches, youngest in bit 0.
+	// Front ends mask it to their configured history width.
+	Hist uint64
+	// Regs is the architectural register file.
+	Regs [isa.NumRegs]int64
+	// CallStack holds the return targets of the in-progress calls, oldest
+	// first.
+	CallStack []int
+	// pages maps page number to a private copy of the page contents.
+	pages map[uint64][]int64
+}
+
+// Capture executes the program functionally (committed path only, no
+// timing, no speculation) for up to n instructions and returns the
+// checkpoint at that boundary. If the program halts before n instructions,
+// the checkpoint is taken at the halt instruction (Insts counts only the
+// instructions before it), so a simulation restored from it halts
+// immediately — exactly where a longer detailed run would have stopped.
+func Capture(prog *program.Program, n uint64) *Checkpoint {
+	st := exec.NewState(prog)
+	pc := prog.Entry
+	var hist uint64
+	var insts uint64
+	for insts < n {
+		info := st.StepAt(pc)
+		if info.Halted {
+			break
+		}
+		insts++
+		if info.Inst.IsCondBranch() {
+			hist <<= 1
+			if info.Taken {
+				hist |= 1
+			}
+		}
+		pc = info.NextPC
+		// The committed path never rolls back: run with an empty undo log.
+		st.CompactTo(st.Checkpoint())
+	}
+	return FromState(st, prog.Name, pc, insts, hist)
+}
+
+// FromState snapshots an existing architectural state. pc is the next
+// instruction to execute, insts the committed instructions executed so far,
+// hist the architectural branch history (see Checkpoint.Hist).
+func FromState(st *exec.State, progName string, pc int, insts uint64, hist uint64) *Checkpoint {
+	cp := &Checkpoint{
+		Program:   progName,
+		PC:        pc,
+		Insts:     insts,
+		Hist:      hist,
+		Regs:      st.Regs,
+		CallStack: st.CallStack(),
+		pages:     make(map[uint64][]int64),
+	}
+	st.Mem().ForEachPage(func(page uint64, words []int64) {
+		cp.pages[page] = append([]int64(nil), words...)
+	})
+	return cp
+}
+
+// Restore applies the checkpoint to a state built for the same program,
+// replacing registers, memory and call stack, and discarding any undo
+// history. The state behaves exactly as if it had executed the Insts
+// committed instructions itself.
+func (c *Checkpoint) Restore(st *exec.State) error {
+	if st.Program().Name != c.Program {
+		return fmt.Errorf("checkpoint: program mismatch: checkpoint %q, state %q",
+			c.Program, st.Program().Name)
+	}
+	st.Regs = c.Regs
+	st.SetCallStack(c.CallStack)
+	mem := st.Mem()
+	mem.Clear()
+	for page, words := range c.pages {
+		mem.SetPage(page, words)
+	}
+	st.ResetUndo()
+	return nil
+}
+
+// Pages returns the number of captured memory pages (for diagnostics and
+// tests).
+func (c *Checkpoint) Pages() int { return len(c.pages) }

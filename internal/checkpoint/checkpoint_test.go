@@ -1,0 +1,175 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"tracecache/internal/checkpoint"
+	"tracecache/internal/exec"
+	"tracecache/internal/isa"
+	"tracecache/internal/program"
+	"tracecache/internal/workload"
+)
+
+func benchProg(t *testing.T, name string) *program.Program {
+	t.Helper()
+	p, err := workload.SharedProgram(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// stepN executes n committed instructions from the entry and returns the
+// state and the next PC.
+func stepN(t *testing.T, p *program.Program, n uint64) (*exec.State, int) {
+	t.Helper()
+	st := exec.NewState(p)
+	pc := p.Entry
+	for i := uint64(0); i < n; i++ {
+		info := st.StepAt(pc)
+		if info.Halted {
+			t.Fatalf("program halted after %d steps", i)
+		}
+		pc = info.NextPC
+	}
+	return st, pc
+}
+
+// assertLockstep steps both states from their PCs for n instructions and
+// fails on the first divergence in PC, outcome, or register state.
+func assertLockstep(t *testing.T, a, b *exec.State, pcA, pcB int, n int) {
+	t.Helper()
+	if pcA != pcB {
+		t.Fatalf("start PC %d vs %d", pcA, pcB)
+	}
+	for i := 0; i < n; i++ {
+		ia := a.StepAt(pcA)
+		ib := b.StepAt(pcB)
+		if ia.NextPC != ib.NextPC || ia.Taken != ib.Taken || ia.Value != ib.Value || ia.Halted != ib.Halted {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, ia, ib)
+		}
+		if ia.Halted {
+			break
+		}
+		pcA, pcB = ia.NextPC, ib.NextPC
+	}
+	if a.Regs != b.Regs {
+		t.Fatalf("register files diverged after %d lockstep steps", n)
+	}
+	if a.CallDepth() != b.CallDepth() {
+		t.Fatalf("call depth %d vs %d", a.CallDepth(), b.CallDepth())
+	}
+}
+
+func TestCaptureMatchesFunctionalExecution(t *testing.T) {
+	p := benchProg(t, "compress")
+	const n = 50_000
+	cp := checkpoint.Capture(p, n)
+	if cp.Insts != n {
+		t.Fatalf("Insts = %d, want %d", cp.Insts, n)
+	}
+	ref, refPC := stepN(t, p, n)
+	if cp.PC != refPC {
+		t.Fatalf("PC = %d, want %d", cp.PC, refPC)
+	}
+	if cp.Regs != ref.Regs {
+		t.Fatal("captured registers differ from functional execution")
+	}
+	st := exec.NewState(p)
+	if err := cp.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UndoLen() != 0 {
+		t.Errorf("restored state has %d undo records, want 0", st.UndoLen())
+	}
+	// The restored state must continue exactly like the reference.
+	assertLockstep(t, st, ref, cp.PC, refPC, 20_000)
+}
+
+func TestRestoreOverwritesDivergedState(t *testing.T) {
+	p := benchProg(t, "go")
+	const n = 20_000
+	cp := checkpoint.Capture(p, n)
+	// Diverge a state far past the checkpoint, then restore into it.
+	diverged, _ := stepN(t, p, 3*n)
+	diverged.Regs[5] = -12345
+	if err := cp.Restore(diverged); err != nil {
+		t.Fatal(err)
+	}
+	fresh := exec.NewState(p)
+	if err := cp.Restore(fresh); err != nil {
+		t.Fatal(err)
+	}
+	assertLockstep(t, diverged, fresh, cp.PC, cp.PC, 20_000)
+}
+
+// TestCheckpointImmutableAcrossRestores verifies a restored state does not
+// alias checkpoint storage: mutating one restored state must not corrupt a
+// later restore (the sweep runner restores one checkpoint into many
+// concurrently constructed simulators).
+func TestCheckpointImmutableAcrossRestores(t *testing.T) {
+	p := benchProg(t, "compress")
+	const n = 10_000
+	cp := checkpoint.Capture(p, n)
+	a := exec.NewState(p)
+	if err := cp.Restore(a); err != nil {
+		t.Fatal(err)
+	}
+	// Trash a's architectural state.
+	for i := 0; i < 5_000; i++ {
+		a.StepAt(i % len(p.Code))
+	}
+	b := exec.NewState(p)
+	if err := cp.Restore(b); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := stepN(t, p, n)
+	if b.Regs != ref.Regs {
+		t.Fatal("second restore corrupted by mutations of the first")
+	}
+	assertLockstep(t, b, ref, cp.PC, cp.PC, 10_000)
+}
+
+func TestCaptureStopsAtHalt(t *testing.T) {
+	b := program.NewBuilder("tiny")
+	b.Here("main")
+	b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: 1, Imm: 7})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := checkpoint.Capture(p, 1_000)
+	if cp.Insts != 2 {
+		t.Fatalf("Insts = %d, want 2 (halt not consumed)", cp.Insts)
+	}
+	st := exec.NewState(p)
+	if err := cp.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if info := st.StepAt(cp.PC); !info.Halted {
+		t.Fatal("restored state does not halt immediately")
+	}
+	if st.Regs[1] != 8 {
+		t.Fatalf("r1 = %d, want 8", st.Regs[1])
+	}
+}
+
+func TestRestoreRejectsProgramMismatch(t *testing.T) {
+	pa := benchProg(t, "compress")
+	pb := benchProg(t, "go")
+	cp := checkpoint.Capture(pa, 100)
+	if err := cp.Restore(exec.NewState(pb)); err == nil {
+		t.Fatal("restore into a different program's state succeeded")
+	}
+}
+
+func TestCaptureCarriesMemoryPages(t *testing.T) {
+	p := benchProg(t, "compress")
+	cp := checkpoint.Capture(p, 50_000)
+	if cp.Pages() == 0 {
+		t.Fatal("no memory pages captured from a store-heavy benchmark")
+	}
+}

@@ -133,6 +133,10 @@ type Engine struct {
 	pendingStore seqHeap // conservative: stores with unresolved addresses
 	blockedLoads seqHeap // loads held by the memory scheduler
 	storesByAddr map[uint64][]ref
+	// storeFree recycles the backing arrays of emptied storesByAddr
+	// entries: recovery-heavy runs would otherwise reallocate an entry for
+	// every store address revisited after a squash.
+	storeFree [][]ref
 
 	// completedBuf backs Tick's return value; it is reused every cycle, so
 	// callers must consume the slice before the next Tick.
@@ -230,7 +234,14 @@ func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, late
 	}
 	if isStore {
 		e.pendingStore.push(r)
-		e.storesByAddr[addr] = append(e.storesByAddr[addr], r)
+		list, ok := e.storesByAddr[addr]
+		if !ok {
+			if n := len(e.storeFree); n > 0 {
+				list = e.storeFree[n-1]
+				e.storeFree = e.storeFree[:n-1]
+			}
+		}
+		e.storesByAddr[addr] = append(list, r)
 	}
 	if in.depCount == 0 {
 		e.schedule(ref{seq: seq, ep: in.ep}, e.cycle+1, evReady)
@@ -264,35 +275,43 @@ func (e *Engine) minUnresolvedStore() uint64 {
 	return ^uint64(0)
 }
 
+// storeFreeMax bounds the recycled-slice pool; beyond it, emptied entries
+// are left to the garbage collector.
+const storeFreeMax = 256
+
+// recycleStoreList removes an emptied address entry and keeps its backing
+// array for the next store to a fresh address.
+func (e *Engine) recycleStoreList(addr uint64, list []ref) {
+	delete(e.storesByAddr, addr)
+	if cap(list) > 0 && len(e.storeFree) < storeFreeMax {
+		e.storeFree = append(e.storeFree, list[:0])
+	}
+}
+
 // olderStore returns the youngest in-flight same-address store older than
-// the load, pruning dead references as it goes.
+// the load, pruning dead references as it goes. Pruning compacts the list
+// in place — the backing array is kept (or recycled via the free list when
+// the entry empties) so revisited addresses do not reallocate.
 func (e *Engine) olderStore(addr uint64, loadSeq uint64) *inst {
 	list := e.storesByAddr[addr]
-	// Prune retired prefix and squashed suffix lazily.
-	for len(list) > 0 {
-		if e.valid(list[0]) == nil {
-			list = list[1:]
-			continue
+	n := 0
+	for _, r := range list {
+		if e.valid(r) != nil {
+			list[n] = r
+			n++
 		}
-		break
-	}
-	n := len(list)
-	for n > 0 && e.valid(list[n-1]) == nil {
-		n--
 	}
 	list = list[:n]
-	if len(list) == 0 {
-		delete(e.storesByAddr, addr)
+	if n == 0 {
+		if list != nil {
+			e.recycleStoreList(addr, list)
+		}
 		return nil
 	}
 	e.storesByAddr[addr] = list
-	for i := len(list) - 1; i >= 0; i-- {
-		if list[i].seq >= loadSeq {
-			continue
-		}
-		// Slot reuse can leave dead references mid-list; skip them.
-		if in := e.valid(list[i]); in != nil {
-			return in
+	for i := n - 1; i >= 0; i-- {
+		if list[i].seq < loadSeq {
+			return e.slot(list[i].seq)
 		}
 	}
 	return nil
@@ -432,8 +451,29 @@ func (e *Engine) Tick(cycle uint64) []uint64 {
 	return completed
 }
 
+// dropStoreRef truncates the squashed tail (seq >= from) of a store-address
+// list eagerly, so squashed references do not pile up waiting for a load to
+// the same address to prune them. A reference with seq >= from sitting
+// below a seq < from entry was killed by an earlier squash; it stays for
+// lazy pruning, which is harmless.
+func (e *Engine) dropStoreRef(addr uint64, from uint64) {
+	list := e.storesByAddr[addr]
+	n := len(list)
+	for n > 0 && list[n-1].seq >= from {
+		n--
+	}
+	switch {
+	case n == len(list):
+	case n == 0:
+		e.recycleStoreList(addr, list)
+	default:
+		e.storesByAddr[addr] = list[:n]
+	}
+}
+
 // Squash removes every instruction with seq >= from. References from
-// surviving instructions are invalidated lazily via epochs.
+// surviving instructions are invalidated lazily via epochs; store-address
+// references are dropped eagerly so recovery does not leave garbage behind.
 func (e *Engine) Squash(from uint64) {
 	if from >= e.tail {
 		return
@@ -443,6 +483,9 @@ func (e *Engine) Squash(from uint64) {
 		if in.live && in.seq == s {
 			in.live = false
 			e.stats.Squashed++
+			if in.isStore {
+				e.dropStoreRef(in.addr, from)
+			}
 		}
 	}
 	e.tail = from

@@ -1,0 +1,85 @@
+package engine
+
+import "testing"
+
+// TestSquashTruncatesStoreLists verifies Squash eagerly drops squashed
+// store references and recycles emptied address lists, so recovery-heavy
+// runs do not reallocate a map entry per revisited store address.
+func TestSquashTruncatesStoreLists(t *testing.T) {
+	e := newEngine(false)
+	e.Tick(0)
+	keep := e.Dispatch(nil, false, true, 0x100, 1)
+	e.Dispatch(nil, false, true, 0x100, 1) // squashed below
+	e.Dispatch(nil, false, true, 0x200, 1) // squashed below, empties 0x200
+	e.Squash(keep + 1)
+	if got := len(e.storesByAddr[0x100]); got != 1 {
+		t.Errorf("0x100 list length = %d, want 1 (squashed tail dropped)", got)
+	}
+	if _, ok := e.storesByAddr[0x200]; ok {
+		t.Error("0x200 entry survived squash of its only store")
+	}
+	if len(e.storeFree) != 1 {
+		t.Errorf("storeFree length = %d, want 1 recycled list", len(e.storeFree))
+	}
+	// A store to a fresh address must reuse the recycled backing array.
+	e.Dispatch(nil, false, true, 0x300, 1)
+	if len(e.storeFree) != 0 {
+		t.Error("fresh-address store did not take the recycled list")
+	}
+	if got := len(e.storesByAddr[0x300]); got != 1 {
+		t.Errorf("0x300 list length = %d, want 1", got)
+	}
+}
+
+// TestOlderStoreCompactsInPlace verifies pruning keeps the slice anchored
+// at its backing array (retired-prefix pruning must not strand capacity)
+// and that forwarding still finds the youngest older store.
+func TestOlderStoreCompactsInPlace(t *testing.T) {
+	e := newEngine(false)
+	e.Tick(0)
+	a := e.Dispatch(nil, false, true, 0x40, 1)
+	b := e.Dispatch(nil, false, true, 0x40, 1)
+	runUntilDone(t, e, a, 1, 10)
+	e.Retire(a)
+	// Load younger than both stores: forwards from b; a's dead ref pruned.
+	load := e.tail + 10
+	if st := e.olderStore(0x40, load); st == nil || st.seq != b {
+		t.Fatalf("olderStore = %+v, want seq %d", st, b)
+	}
+	if got := len(e.storesByAddr[0x40]); got != 1 {
+		t.Errorf("list length after prune = %d, want 1", got)
+	}
+	// Retire b, then prune to empty: entry recycled.
+	if !e.IsDone(b) {
+		runUntilDone(t, e, b, 5, 10)
+	}
+	e.Retire(b)
+	if st := e.olderStore(0x40, load); st != nil {
+		t.Fatalf("olderStore after retires = %+v, want nil", st)
+	}
+	if _, ok := e.storesByAddr[0x40]; ok {
+		t.Error("emptied entry not removed")
+	}
+	if len(e.storeFree) != 1 {
+		t.Errorf("storeFree length = %d, want 1", len(e.storeFree))
+	}
+}
+
+// TestForwardingAcrossSquashEpochs re-checks store-to-load forwarding
+// correctness when seq numbers are reused after a squash (the eager
+// truncation must never drop a live reference).
+func TestForwardingAcrossSquashEpochs(t *testing.T) {
+	e := newEngine(false)
+	e.Tick(0)
+	s1 := e.Dispatch(nil, false, true, 0x80, 1)
+	e.Dispatch(nil, false, true, 0x80, 1)
+	e.Squash(s1 + 1) // kill the second store only
+	s2 := e.Dispatch(nil, false, true, 0x80, 1)
+	if s2 != s1+1 {
+		t.Fatalf("redispatch seq = %d, want %d", s2, s1+1)
+	}
+	runUntilDone(t, e, s2, 1, 10)
+	if st := e.olderStore(0x80, s2+5); st == nil || st.seq != s2 {
+		t.Fatalf("olderStore = %+v, want live store seq %d", st, s2)
+	}
+}

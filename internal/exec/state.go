@@ -73,6 +73,26 @@ func (s *State) Steps() uint64 { return s.steps }
 // CallDepth returns the current call-stack depth.
 func (s *State) CallDepth() int { return len(s.callStack) }
 
+// CallStack returns a copy of the call stack (return targets, oldest
+// first), for checkpointing and for seeding a return address stack.
+func (s *State) CallStack() []int {
+	return append([]int(nil), s.callStack...)
+}
+
+// SetCallStack replaces the call stack (checkpoint restore). The slice is
+// copied.
+func (s *State) SetCallStack(cs []int) {
+	s.callStack = append(s.callStack[:0], cs...)
+}
+
+// ResetUndo discards the entire undo history while keeping snapshot marks
+// monotonic, so snapshots taken after the reset remain valid. Used by
+// checkpoint restore: a restored state has nothing to roll back to.
+func (s *State) ResetUndo() {
+	s.undoBase += uint64(len(s.undo))
+	s.undo = nil
+}
+
 func (s *State) writeReg(r isa.Reg, v int64) {
 	if r == isa.ZeroReg {
 		return
@@ -223,6 +243,25 @@ func (s *State) ReleaseBefore(sn Snapshot) {
 	n := copy(s.undo, s.undo[drop:])
 	s.undo = s.undo[:n]
 	s.undoBase += uint64(drop)
+}
+
+// undoRetainCap is the undo capacity kept across CompactTo calls: large
+// enough that steady-state speculation never reallocates, small enough that
+// a pathological speculative burst does not pin its high-water capacity for
+// the rest of the run.
+const undoRetainCap = 1 << 14
+
+// CompactTo is ReleaseBefore plus capacity management: once the live
+// portion of the undo log is empty, backing capacity beyond a small retained
+// buffer is returned to the allocator. The simulator calls it when recovery
+// settles (the speculative burst that grew the log is over); fast-forward,
+// which never speculates, calls it every step so it runs with a zero-length
+// undo log regardless of how long the snapshot it holds lives.
+func (s *State) CompactTo(sn Snapshot) {
+	s.ReleaseBefore(sn)
+	if len(s.undo) == 0 && cap(s.undo) > undoRetainCap {
+		s.undo = nil
+	}
 }
 
 // UndoLen returns the number of live undo records (for tests).

@@ -44,6 +44,13 @@ type Runner struct {
 	// are then measured.
 	Warmup uint64
 	Budget uint64
+	// FastForward, when non-zero, executes that many committed instructions
+	// functionally before the detailed phases — restored from one shared
+	// architectural checkpoint per benchmark (captured once per process, see
+	// workload.SharedCheckpoint), so a sweep of N configurations pays for
+	// the prefix once instead of N times. Microarchitectural structures are
+	// not checkpointed; Warmup should stay large enough to warm them.
+	FastForward uint64
 	// Log, when non-nil, receives progress lines. Writes are serialized by
 	// the runner, but their order under Workers > 1 follows completion
 	// order, not paper order.
@@ -201,9 +208,22 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	}
 	cfg.WarmupInsts = r.Warmup
 	cfg.MaxInsts = r.Budget
+	cfg.FastForwardInsts = r.FastForward
 	s, err := sim.New(cfg, prog)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	if r.FastForward > 0 {
+		// The capture itself is memoized process-wide; the first arrival
+		// captures (under its worker slot), later arrivals block on the
+		// OnceValues and then restore, which is a cheap copy.
+		cp, err := workload.SharedCheckpoint(bench, r.FastForward)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", key, err)
+		}
+		if err := s.ApplyCheckpoint(cp); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", key, err)
+		}
 	}
 	r.logf("running %s...\n", key)
 	return s.Run(), nil

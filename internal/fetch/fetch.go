@@ -46,6 +46,18 @@ func RASDepth(top *RASNode) int {
 	return n
 }
 
+// BuildRAS builds a return address stack holding the given return targets,
+// oldest first — the shape of an architectural call stack. Fast-forward and
+// checkpoint restore use it to seed the speculative RAS with the committed
+// call nesting.
+func BuildRAS(targets []int) *RASNode {
+	var top *RASNode
+	for _, t := range targets {
+		top = rasPush(top, t)
+	}
+	return top
+}
+
 // FetchedInst is one instruction delivered by a fetch, with the prediction
 // and recovery state the simulator needs.
 type FetchedInst struct {

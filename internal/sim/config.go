@@ -71,11 +71,14 @@ type Config struct {
 	// re-execution of the block prefix.
 	FaultPenalty int
 
-	// Run bounds. WarmupInsts retire before statistics collection
+	// Run bounds. FastForwardInsts committed instructions are executed
+	// functionally first (no cycle-level detail, see Simulator.Run), then
+	// WarmupInsts retire under full detail before statistics collection
 	// starts; MaxInsts are then measured.
-	WarmupInsts uint64
-	MaxInsts    uint64
-	MaxCycles   uint64
+	FastForwardInsts uint64
+	WarmupInsts      uint64
+	MaxInsts         uint64
+	MaxCycles        uint64
 }
 
 // DefaultConfig returns the paper's baseline trace-cache machine

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+
+	"tracecache/internal/checkpoint"
+	"tracecache/internal/fetch"
+	"tracecache/internal/isa"
+	"tracecache/internal/stats"
+)
+
+// This file implements functional fast-forward: executing the committed
+// path against the architectural state with no engine, no scheduler, no
+// speculation and no per-cycle accounting, while still feeding the retired
+// stream into the structures a detailed run warms from that same stream —
+// the instruction and data caches, the branch predictors, the bias table
+// and the fill unit (and through it the trace cache).
+//
+// Structures keyed purely by the retired stream (bias table, fill unit,
+// trace cache contents, indirect predictor, cache tags) warm as the
+// detailed run's committed path would warm them. The conditional-branch
+// predictors are fetch-time structures: detailed fetch groups and
+// wrong-path training cannot be reproduced without the pipeline, so
+// fast-forward trains them on the committed path using a pseudo fetch
+// group (reset at taken control flow, the predictor's slot budget, or the
+// fetch width) — the measured accuracy deltas are recorded in
+// BENCH_perf.json and the README.
+
+// ApplyCheckpoint restores a shared architectural checkpoint into this
+// simulator: registers, memory, call stack, PC, committed-instruction
+// count and branch history. It must be called on a fresh simulator, before
+// Run. The restored instructions count toward the configuration's
+// FastForwardInsts, so a config whose FastForwardInsts exceeds the
+// checkpoint's depth fast-forwards (with warming) the remainder; matching
+// depths skip straight to detailed warmup. Microarchitectural state is not
+// in the checkpoint — caches, predictors and the trace cache start cold
+// and are warmed by WarmupInsts.
+func (s *Simulator) ApplyCheckpoint(cp *checkpoint.Checkpoint) error {
+	if s.cycle != 0 || s.ffwdDone != 0 || s.run.Retired != 0 {
+		return fmt.Errorf("sim: ApplyCheckpoint on a running simulator")
+	}
+	if err := cp.Restore(s.state); err != nil {
+		return err
+	}
+	s.fetchPC = cp.PC
+	s.ffwdDone = cp.Insts
+	s.fromCheckpoint = true
+	s.fe.Restore(cp.Hist, fetch.BuildRAS(cp.CallStack))
+	return nil
+}
+
+// FastForwarded returns the number of committed instructions executed
+// functionally (fast-forward plus any restored checkpoint prefix).
+func (s *Simulator) FastForwarded() uint64 { return s.ffwdDone }
+
+// fastForward executes up to n committed-path instructions functionally,
+// warming the retired-stream structures, and leaves the machine ready to
+// fetch the next committed instruction. It consumes no cycles and touches
+// no run statistics. If the program halts inside the fast-forward window,
+// stepping stops at the halt instruction without consuming it, so the
+// detailed phase retires it exactly as a longer detailed run would.
+func (s *Simulator) fastForward(n uint64) {
+	hist := s.fe.Hist()
+	pc := s.fetchPC
+	lineInsts := s.hier.L1I.LineBytes() / isa.InstBytes
+	lastLine := -1
+	width := s.cfg.FetchWidth
+	if width <= 0 {
+		width = stats.MaxFetchWidth
+	}
+	maxSlots := 0
+	if s.mbp != nil {
+		maxSlots = s.mbp.MaxSlots()
+	}
+	// Pseudo fetch group for the multiple branch predictor: indexed by the
+	// group's start PC and the history at its start, like real fetches.
+	var (
+		groupStart = pc
+		groupHist  = hist
+		groupLen   int
+		slot       int
+		path       uint8
+	)
+	var done uint64
+	for done < n {
+		info := s.state.StepAt(pc)
+		if info.Halted {
+			break
+		}
+		done++
+		// The committed path never rolls back: run with an empty undo log.
+		s.state.CompactTo(s.state.Checkpoint())
+		if line := pc / lineInsts; line != lastLine {
+			s.hier.FetchInst(isa.Addr(pc))
+			lastLine = line
+		}
+		in := info.Inst
+		if s.fill != nil {
+			s.fill.Retire(pc, in, info.Taken)
+		}
+		endGroup := false
+		switch {
+		case in.IsCondBranch():
+			switch {
+			case s.mbp != nil:
+				if slot < maxSlots {
+					pred, ctx := s.mbp.Predict(groupStart, pc, groupHist, slot, path)
+					if pred {
+						path |= 1 << uint(slot)
+					}
+					slot++
+					s.mbp.Update(ctx, info.Taken)
+				}
+				endGroup = slot >= maxSlots
+			case s.hyb != nil:
+				_, ctx := s.hyb.Predict(pc, hist)
+				s.hyb.Update(ctx, info.Taken)
+				endGroup = true // icache fetch blocks end at branches
+			}
+			hist <<= 1
+			if info.Taken {
+				hist |= 1
+			}
+		case in.IsIndirect():
+			s.ind.Update(pc, info.NextPC)
+			endGroup = true
+		case in.IsControl(), in.IsTrap():
+			endGroup = true
+		default:
+			if in.IsMem() {
+				s.hier.AccessData(info.MemAddr)
+			}
+		}
+		groupLen++
+		pc = info.NextPC
+		if endGroup || groupLen >= width {
+			groupStart, groupHist = pc, hist
+			groupLen, slot, path = 0, 0, 0
+		}
+	}
+	s.fetchPC = pc
+	s.ffwdDone += done
+	// Hand the front end the architectural fetch state: the committed
+	// branch history and a RAS mirroring the committed call nesting.
+	s.fe.Restore(hist, fetch.BuildRAS(s.state.CallStack()))
+}

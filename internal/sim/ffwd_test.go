@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+
+	"tracecache/internal/checkpoint"
+	"tracecache/internal/program"
+	"tracecache/internal/workload"
+)
+
+func ffwdProg(t *testing.T, name string) *program.Program {
+	t.Helper()
+	p, err := workload.SharedProgram(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// retireStream runs the simulator and returns the retired PC stream.
+func retireStream(t *testing.T, cfg Config, p *program.Program, cp *checkpoint.Checkpoint) []int {
+	t.Helper()
+	s := mustSim(t, cfg, p)
+	if cp != nil {
+		if err := s.ApplyCheckpoint(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pcs []int
+	s.OnRetire = func(pc int) { pcs = append(pcs, pc) }
+	s.Run()
+	return pcs
+}
+
+// assertFastForwardDeterminism checks the central fast-forward contract:
+// fast-forwarding N instructions and then retiring M in detail produces
+// the same committed stream as a fully detailed run's instructions N..N+M.
+// (Fast-forward may only relocate the detailed phase, never change what
+// commits.)
+func assertFastForwardDeterminism(t *testing.T, cfg Config, bench string) {
+	t.Helper()
+	const n, m = 30_000, 30_000
+	p := ffwdProg(t, bench)
+
+	full := cfg
+	full.WarmupInsts, full.MaxInsts = 0, n+m
+	detailed := retireStream(t, full, p, nil)
+	if uint64(len(detailed)) < n+m {
+		t.Fatalf("detailed run retired %d, want >= %d", len(detailed), n+m)
+	}
+
+	ff := cfg
+	ff.FastForwardInsts, ff.WarmupInsts, ff.MaxInsts = n, 0, m
+	ffStream := retireStream(t, ff, p, nil)
+	if uint64(len(ffStream)) < m {
+		t.Fatalf("ffwd run retired %d, want >= %d", len(ffStream), m)
+	}
+
+	k := len(ffStream)
+	if rest := len(detailed) - n; rest < k {
+		k = rest
+	}
+	for i := 0; i < k; i++ {
+		if detailed[n+i] != ffStream[i] {
+			t.Fatalf("retired stream diverged at instruction %d: detailed pc %d, ffwd pc %d",
+				i, detailed[n+i], ffStream[i])
+		}
+	}
+}
+
+func TestFastForwardDeterminismTrace(t *testing.T) {
+	assertFastForwardDeterminism(t, DefaultConfig(), "gcc")
+}
+
+func TestFastForwardDeterminismICache(t *testing.T) {
+	assertFastForwardDeterminism(t, ICacheConfig(), "compress")
+}
+
+// TestApplyCheckpointMatchesInSimFastForward verifies a run restored from
+// a shared checkpoint commits the same stream as one that fast-forwarded
+// the prefix itself (the checkpoint skips warming, which may change
+// timing, but never the committed path).
+func TestApplyCheckpointMatchesInSimFastForward(t *testing.T) {
+	const n, m = 30_000, 30_000
+	p := ffwdProg(t, "gcc")
+	cfg := DefaultConfig()
+	cfg.FastForwardInsts, cfg.WarmupInsts, cfg.MaxInsts = n, 0, m
+
+	inSim := retireStream(t, cfg, p, nil)
+	cp := checkpoint.Capture(p, n)
+	restored := retireStream(t, cfg, p, cp)
+	if uint64(len(restored)) < m {
+		t.Fatalf("restored run retired %d, want >= %d", len(restored), m)
+	}
+	k := min(len(inSim), len(restored))
+	for i := 0; i < k; i++ {
+		if inSim[i] != restored[i] {
+			t.Fatalf("streams diverged at %d: in-sim pc %d, restored pc %d", i, inSim[i], restored[i])
+		}
+	}
+}
+
+func TestApplyCheckpointSetsProvenance(t *testing.T) {
+	const n = 10_000
+	p := ffwdProg(t, "gcc")
+	cfg := DefaultConfig()
+	cfg.FastForwardInsts, cfg.MaxInsts = n, 20_000
+	s := mustSim(t, cfg, p)
+	if err := s.ApplyCheckpoint(checkpoint.Capture(p, n)); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.Meta == nil || r.Meta.FastForwardInsts != n || !r.Meta.CheckpointShared {
+		t.Fatalf("meta = %+v, want FastForwardInsts=%d CheckpointShared=true", r.Meta, n)
+	}
+	if s.FastForwarded() != n {
+		t.Errorf("FastForwarded = %d, want %d", s.FastForwarded(), n)
+	}
+	// A default run must leave both provenance fields zero so serialized
+	// summaries are unchanged (omitempty).
+	plain := mustSim(t, DefaultConfig(), sumLoop(t, 50))
+	pr := plain.Run()
+	if pr.Meta.FastForwardInsts != 0 || pr.Meta.CheckpointShared {
+		t.Fatalf("default-path meta = %+v, want zero ffwd provenance", pr.Meta)
+	}
+}
+
+func TestApplyCheckpointRejectsStartedSimulator(t *testing.T) {
+	p := sumLoop(t, 50)
+	cfg := DefaultConfig()
+	s := mustSim(t, cfg, p)
+	s.Run()
+	if err := s.ApplyCheckpoint(checkpoint.Capture(p, 10)); err == nil {
+		t.Fatal("ApplyCheckpoint accepted a simulator that already ran")
+	}
+}
+
+// TestFastForwardPastHalt: a fast-forward window larger than the program
+// stops at the halt without consuming it, so the detailed phase retires
+// the halt exactly once.
+func TestFastForwardPastHalt(t *testing.T) {
+	p := sumLoop(t, 100) // 303 committed instructions including the halt
+	cfg := DefaultConfig()
+	cfg.FastForwardInsts = 10_000
+	s := mustSim(t, cfg, p)
+	r := s.Run()
+	if s.FastForwarded() != 302 {
+		t.Errorf("FastForwarded = %d, want 302 (halt left to the detailed phase)", s.FastForwarded())
+	}
+	if r.Retired != 1 {
+		t.Errorf("retired = %d, want 1 (just the halt)", r.Retired)
+	}
+}
+
+// TestFastForwardRunsWithEmptyUndoLog: the committed path never rolls
+// back, so fast-forward must not accumulate undo history.
+func TestFastForwardRunsWithEmptyUndoLog(t *testing.T) {
+	p := ffwdProg(t, "compress")
+	cfg := DefaultConfig()
+	cfg.FastForwardInsts, cfg.MaxInsts = 50_000, 1
+	s := mustSim(t, cfg, p)
+	s.fastForward(cfg.FastForwardInsts)
+	if n := s.state.UndoLen(); n != 0 {
+		t.Errorf("undo length after fast-forward = %d, want 0", n)
+	}
+}
+
+// TestFastForwardAccuracy bounds the approximation error of warming the
+// fetch-time predictors from the committed stream: replacing two thirds of
+// a detailed warmup with fast-forward must measure the identical committed
+// region and keep IPC and misprediction rate close to the all-detailed
+// run. The bounds are loose (the runs are deterministic; these catch
+// regressions in the warming model, not noise).
+func TestFastForwardAccuracy(t *testing.T) {
+	p := ffwdProg(t, "gcc")
+	const prefix, keepWarm, measured = 100_000, 50_000, 60_000
+
+	det := DefaultConfig()
+	det.WarmupInsts, det.MaxInsts = prefix+keepWarm, measured
+	sd := mustSim(t, det, p)
+	rd := sd.Run()
+
+	ff := DefaultConfig()
+	ff.FastForwardInsts, ff.WarmupInsts, ff.MaxInsts = prefix, keepWarm, measured
+	sf := mustSim(t, ff, p)
+	rf := sf.Run()
+
+	if rd.Retired != rf.Retired || rd.CondBranches != rf.CondBranches {
+		t.Fatalf("measured regions differ: retired %d/%d, branches %d/%d",
+			rd.Retired, rf.Retired, rd.CondBranches, rf.CondBranches)
+	}
+	if d := relDelta(rf.IPC(), rd.IPC()); d > 0.10 {
+		t.Errorf("IPC delta %.1f%% (detailed %.3f, ffwd %.3f), want <= 10%%", 100*d, rd.IPC(), rf.IPC())
+	}
+	if d := rf.CondMispredictRate() - rd.CondMispredictRate(); d > 0.03 || d < -0.03 {
+		t.Errorf("mispredict-rate delta %.2fpp (detailed %.2f%%, ffwd %.2f%%), want within 3pp",
+			100*d, 100*rd.CondMispredictRate(), 100*rf.CondMispredictRate())
+	}
+}
+
+func relDelta(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return 0
+	}
+	return d / b
+}

@@ -142,9 +142,18 @@ type Simulator struct {
 	coll   *obs.Collector
 	occSum uint64 // per-cycle window occupancy sum (collector enabled only)
 
+	// Fast-forward bookkeeping: committed instructions executed
+	// functionally before the cycle loop (stepped by fastForward or
+	// restored via ApplyCheckpoint).
+	ffwdDone       uint64
+	fromCheckpoint bool
+
 	// OnRetireBranch, when set, observes every retiring conditional
 	// branch (a diagnostic hook for per-site analysis tooling).
 	OnRetireBranch func(pc int, taken, mispredicted, promoted bool)
+	// OnRetire, when set, observes every retiring instruction in commit
+	// order (a test hook: fast-forward determinism is asserted against it).
+	OnRetire func(pc int)
 }
 
 // New builds a simulator for the program under the configuration.
@@ -271,12 +280,17 @@ func (s *Simulator) probe() obs.Probe {
 
 // Run simulates until the instruction budget, cycle bound, or program halt
 // and returns the collected statistics. When the configuration specifies a
-// warmup, statistics are reset once the warmup instruction count retires —
-// with caches, predictors, the trace cache and the bias table left warm —
-// so short runs are not dominated by cold-start effects (the paper ran
-// 41M-500M instructions per benchmark).
+// fast-forward, that many committed instructions are first executed
+// functionally (see fastForward; a restored checkpoint counts toward it).
+// When the configuration specifies a warmup, statistics are reset once the
+// warmup instruction count retires — with caches, predictors, the trace
+// cache and the bias table left warm — so short runs are not dominated by
+// cold-start effects (the paper ran 41M-500M instructions per benchmark).
 func (s *Simulator) Run() *stats.Run {
 	start := time.Now()
+	if ff := s.cfg.FastForwardInsts; ff > s.ffwdDone {
+		s.fastForward(ff - s.ffwdDone)
+	}
 	warm := s.cfg.WarmupInsts
 	warming := warm > 0
 	if !warming && s.coll != nil {
@@ -327,13 +341,15 @@ func (s *Simulator) Run() *stats.Run {
 func (s *Simulator) buildMeta(start time.Time, wall time.Duration) *stats.Meta {
 	host, _ := os.Hostname()
 	return &stats.Meta{
-		ConfigHash:  s.cfg.Hash(),
-		WarmupInsts: s.cfg.WarmupInsts,
-		MaxInsts:    s.cfg.MaxInsts,
-		WallMillis:  float64(wall.Microseconds()) / 1000,
-		GoVersion:   runtime.Version(),
-		Hostname:    host,
-		StartedAt:   start.UTC().Format(time.RFC3339),
+		ConfigHash:       s.cfg.Hash(),
+		WarmupInsts:      s.cfg.WarmupInsts,
+		MaxInsts:         s.cfg.MaxInsts,
+		FastForwardInsts: s.ffwdDone,
+		CheckpointShared: s.fromCheckpoint,
+		WallMillis:       float64(wall.Microseconds()) / 1000,
+		GoVersion:        runtime.Version(),
+		Hostname:         host,
+		StartedAt:        start.UTC().Format(time.RFC3339),
 	}
 }
 
@@ -391,6 +407,9 @@ func (s *Simulator) retire() {
 func (s *Simulator) retireInst(d *dyn) {
 	in := d.fi.Inst
 	s.run.Retired++
+	if s.OnRetire != nil {
+		s.OnRetire(d.fi.PC)
+	}
 	if s.fill != nil {
 		if d.alignFill {
 			s.fill.Align()
@@ -554,6 +573,10 @@ func (s *Simulator) recover(d *dyn, cause stats.CycleClass, target int) {
 	}
 	s.eng.Squash(from)
 	s.state.Rollback(d.snapshot)
+	// The speculative burst past d is undone; nothing older than the oldest
+	// unretired instruction's snapshot can be rolled back to, so trim any
+	// capacity the burst grew (a no-op unless the log is now empty).
+	s.state.CompactTo(s.window[s.retireSeq&s.mask].snapshot)
 	s.fe.ResolveEffect(&d.fi, d.taken)
 	s.fetchPC = target
 	s.discardPending(cause)

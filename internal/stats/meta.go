@@ -15,6 +15,13 @@ type Meta struct {
 	// WarmupInsts and MaxInsts are the run bounds.
 	WarmupInsts uint64 `json:"warmupInsts"`
 	MaxInsts    uint64 `json:"maxInsts"`
+	// FastForwardInsts is the functionally executed prefix (0 when the
+	// whole run was cycle-detailed).
+	FastForwardInsts uint64 `json:"fastForwardInsts,omitempty"`
+	// CheckpointShared marks a run whose fast-forward prefix was restored
+	// from a shared architectural checkpoint (no per-configuration warming
+	// during the prefix) rather than stepped by this simulator.
+	CheckpointShared bool `json:"checkpointShared,omitempty"`
 	// WallMillis is the simulation wall time in milliseconds.
 	WallMillis float64 `json:"wallMillis"`
 	// GoVersion is the runtime that executed the simulation.

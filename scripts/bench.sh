@@ -16,7 +16,7 @@ BENCHTIME="${BENCHTIME:-3x}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run xxx -bench 'SimulatorThroughput|Suite' \
+go test -run xxx -bench 'SimulatorThroughput|Suite|WarmupSweep|FastForwardAccuracy' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
 
 # pick BENCH UNIT: prints the value whose following field is UNIT on the
@@ -33,13 +33,20 @@ BYTES_OP="$(pick SimulatorThroughput 'B/op')"
 ALLOCS_OP="$(pick SimulatorThroughput 'allocs/op')"
 SEQ_NS="$(pick SuiteSequential 'ns/op')"
 PAR_NS="$(pick SuiteParallel 'ns/op')"
+DET_NS="$(pick WarmupSweepDetailed 'ns/op')"
+CKPT_NS="$(pick WarmupSweepCheckpointed 'ns/op')"
+IPC_DELTA="$(pick FastForwardAccuracy 'ipc-delta-%')"
+EFF_DELTA="$(pick FastForwardAccuracy 'effrate-delta-%')"
+MISP_DELTA="$(pick FastForwardAccuracy 'mispredict-delta-pp')"
 
-if [ -z "$INSTS_S" ] || [ -z "$SEQ_NS" ] || [ -z "$PAR_NS" ]; then
+if [ -z "$INSTS_S" ] || [ -z "$SEQ_NS" ] || [ -z "$PAR_NS" ] ||
+	[ -z "$DET_NS" ] || [ -z "$CKPT_NS" ] || [ -z "$IPC_DELTA" ]; then
 	echo "bench.sh: failed to parse benchmark output" >&2
 	exit 1
 fi
 
 SPEEDUP="$(awk -v s="$SEQ_NS" -v p="$PAR_NS" 'BEGIN { printf "%.2f", s / p }')"
+FF_SPEEDUP="$(awk -v d="$DET_NS" -v c="$CKPT_NS" 'BEGIN { printf "%.2f", d / c }')"
 GOVER="$(go env GOVERSION)"
 CPUS="$(getconf _NPROCESSORS_ONLN)"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -60,6 +67,16 @@ cat > BENCH_perf.json <<EOF
     "sequential_ns_per_op": $SEQ_NS,
     "parallel_ns_per_op": $PAR_NS,
     "parallel_speedup": $SPEEDUP
+  },
+  "fast_forward": {
+    "benchmark": "BenchmarkWarmupSweepDetailed / BenchmarkWarmupSweepCheckpointed / BenchmarkFastForwardAccuracy",
+    "note": "10-point sweep, 200k-instruction unmeasured prefix per point, sequential (workers=1); accuracy vs all-detailed warmup on gcc/baseline",
+    "detailed_sweep_ns_per_op": $DET_NS,
+    "checkpointed_sweep_ns_per_op": $CKPT_NS,
+    "checkpoint_sweep_speedup": $FF_SPEEDUP,
+    "ipc_delta_pct": $IPC_DELTA,
+    "eff_fetch_rate_delta_pct": $EFF_DELTA,
+    "mispredict_rate_delta_pp": $MISP_DELTA
   },
   "pre_pr_baseline": {
     "note": "measured before the parallel sweep engine + allocation diet (sequential runner, cpus=1)",

@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI for the tracecache repo: tier-1 build+test, vet, a race pass over the
-# observability layer, the simulator, and the parallel sweep engine, and a
-# benchmark smoke step so the perf harness stays runnable.
+# observability layer, the simulator, and the parallel sweep engine, a
+# fast-forward smoke+accuracy step, and a benchmark smoke step so the perf
+# harness stays runnable.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,8 +19,15 @@ echo "== go test -race (obs, sim) =="
 go test -race ./internal/obs/... ./internal/sim/...
 
 echo "== go test -race (sweep engine: worker pool + singleflight + program cache) =="
-go test -race -run 'Parallel|Singleflight|RunE|SweepE|RunAll|Shared' \
+go test -race -run 'Parallel|Singleflight|RunE|SweepE|RunAll|Shared|FastForward' \
 	./internal/experiments/ ./internal/workload/
+
+echo "== fast-forward smoke (checkpoint-shared sweep) =="
+go run ./cmd/tcbench -exp fig4 -ffwd 100000 -warmup 20000 -insts 40000 -j 1 >/dev/null
+
+echo "== fast-forward accuracy assert =="
+go test -run 'TestFastForwardAccuracy|TestFastForwardDeterminism|TestApplyCheckpoint' \
+	./internal/sim/
 
 echo "== benchmark smoke =="
 go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .

@@ -25,6 +25,7 @@
 package tracecache
 
 import (
+	"tracecache/internal/checkpoint"
 	"tracecache/internal/config"
 	"tracecache/internal/core"
 	"tracecache/internal/experiments"
@@ -51,6 +52,9 @@ type (
 	PackPolicy = core.PackPolicy
 	// Simulator runs one program under one configuration.
 	Simulator = sim.Simulator
+	// Checkpoint is a snapshot of architectural state after a functional
+	// prefix, restorable into any configuration's simulator.
+	Checkpoint = checkpoint.Checkpoint
 	// Experiment regenerates one table or figure of the paper.
 	Experiment = experiments.Experiment
 	// Runner executes experiment simulations with memoization.
@@ -135,6 +139,17 @@ func Simulate(cfg Config, prog *Program) (*Run, error) {
 	return s.Run(), nil
 }
 
+// CaptureCheckpoint executes the program functionally for up to insts
+// committed instructions and snapshots the architectural state (registers,
+// memory, call stack, branch history). Restore the checkpoint into a fresh
+// Simulator with Simulator.ApplyCheckpoint to skip re-executing the prefix;
+// because the state is configuration-independent, one checkpoint can seed a
+// whole sweep of machines (set Config.FastForwardInsts to insts so budgets
+// line up, and keep a detailed warmup to warm microarchitectural state).
+func CaptureCheckpoint(prog *Program, insts uint64) *Checkpoint {
+	return checkpoint.Capture(prog, insts)
+}
+
 // Experiments returns every paper table/figure experiment in order.
 func Experiments() []Experiment { return experiments.All() }
 
@@ -152,7 +167,9 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // NewRunner builds an experiment runner with the given warmup and
 // measurement instruction budgets. The runner memoizes simulations and is
 // safe for concurrent use; set Runner.Workers to bound parallel
-// simulations (default GOMAXPROCS).
+// simulations (default GOMAXPROCS). Set Runner.FastForward to skip a
+// functional prefix per run, shared across configurations through one
+// architectural checkpoint per benchmark.
 func NewRunner(warmup, budget uint64) *Runner { return experiments.NewRunner(warmup, budget) }
 
 // RunExperiments executes the experiments against the runner, fanning the
