@@ -35,7 +35,11 @@ func benchExperiment(b *testing.B, id string) {
 	r := runnerOnce()
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = e.Run(r)
+		o, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = o
 	}
 	if len(strings.TrimSpace(out)) == 0 {
 		b.Fatalf("experiment %s produced no output", id)
@@ -112,6 +116,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// BenchmarkSimulatorThroughputChecked is the same run with the
+// self-verification layer on (lockstep reference model + structural
+// invariants); the gap against BenchmarkSimulatorThroughput is the
+// recorded -check overhead.
+func BenchmarkSimulatorThroughputChecked(b *testing.B) {
+	prog, err := tracecache.BenchmarkProgram("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tracecache.BaselineConfig()
+	cfg.MaxInsts = 200_000
+	cfg.Check = true
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		run, err := tracecache.Simulate(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += run.Retired
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
+}
+
 // warmSweep runs a warmup-heavy five-configuration sweep over two
 // benchmarks on a fresh runner, sequentially (the acceptance scenario is a
 // one-core container). Every run spends 200k instructions on a prefix
@@ -138,7 +166,11 @@ func warmSweep(b *testing.B, ffwd uint64) {
 		var retired uint64
 		for _, cfg := range configs {
 			for _, bench := range benches {
-				retired += r.Run(cfg, bench).Retired
+				run, err := r.RunE(cfg, bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired += run.Retired
 			}
 		}
 		if retired == 0 {
@@ -202,8 +234,14 @@ func BenchmarkHeadline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		base, best = 0, 0
 		for _, bench := range tracecache.Benchmarks() {
-			baseRun := r.Run(tracecache.BaselineConfig(), bench)
-			bestRun := r.Run(tracecache.PromotionPackingConfig(tracecache.PackUnregulated, 64), bench)
+			baseRun, err := r.RunE(tracecache.BaselineConfig(), bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bestRun, err := r.RunE(tracecache.PromotionPackingConfig(tracecache.PackUnregulated, 64), bench)
+			if err != nil {
+				b.Fatal(err)
+			}
 			base += baseRun.EffFetchRate()
 			best += bestRun.EffFetchRate()
 		}

@@ -37,6 +37,7 @@ func main() {
 		version  = flag.Bool("version", false, "print version and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		check    = flag.Bool("check", false, "run every simulation with the self-verification layer; violations fail the experiment")
 	)
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func main() {
 	r := tracecache.NewRunner(*warmup, *insts)
 	r.FastForward = *ffwd
 	r.Workers = *workers
+	r.Check = *check
 	if *progress {
 		r.Log = os.Stderr
 	}

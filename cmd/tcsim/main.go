@@ -41,6 +41,7 @@ func main() {
 		trOut    = flag.String("trace", "", "write a Chrome/Perfetto trace-event file (open at ui.perfetto.dev)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		check    = flag.Bool("check", false, "run with the self-verification layer (lockstep reference model + invariants); violations exit non-zero")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	cfg.FastForwardInsts = *ffwd
 	cfg.WarmupInsts = *warmup
 	cfg.MaxInsts = *insts
+	cfg.Check = *check
 
 	var prog *tracecache.Program
 	var err error
@@ -124,6 +126,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if chk := s.Checker(); chk != nil {
+		if chk.Total() > 0 {
+			fmt.Fprintf(os.Stderr, "tcsim: self-check FAILED\n%s\n", chk.Report())
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tcsim: self-check passed (%d committed instructions verified, 0 violations)\n", chk.Commits())
 	}
 
 	if *asJSON {

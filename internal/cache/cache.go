@@ -26,6 +26,9 @@ func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
 		return fmt.Errorf("cache %q: non-positive geometry %+v", c.Name, c)
 	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
 	if c.SizeBytes%c.LineBytes != 0 {
 		return fmt.Errorf("cache %q: size %d not a multiple of line %d", c.Name, c.SizeBytes, c.LineBytes)
 	}
@@ -91,15 +94,6 @@ func New(cfg Config) (*Cache, error) {
 		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
 	return c, nil
-}
-
-// MustNew is New, panicking on configuration errors; for static configs.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
 }
 
 // Config returns the cache geometry.

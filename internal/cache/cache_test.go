@@ -198,3 +198,33 @@ func TestProbeInst(t *testing.T) {
 		t.Error("warm probe missed")
 	}
 }
+
+// MustNew is a test helper that builds a cache from a known-good config.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestNewRejectsBadGeometry pins the error path that replaced the
+// panicking constructor, including the line-size power-of-two rule that
+// Validate now covers on New's behalf.
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Name: "neg", SizeBytes: -1, LineBytes: 32, Assoc: 2},
+		{Name: "line", SizeBytes: 1024, LineBytes: 48, Assoc: 2}, // not a power of two
+		{Name: "mult", SizeBytes: 1000, LineBytes: 64, Assoc: 2},
+		{Name: "assoc", SizeBytes: 1024, LineBytes: 64, Assoc: 3},
+		{Name: "sets", SizeBytes: 1536, LineBytes: 64, Assoc: 2}, // 12 sets
+	} {
+		if c, err := New(cfg); err == nil || c != nil {
+			t.Errorf("New(%+v) = %v, %v; want nil, error", cfg, c, err)
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a geometry New rejects", cfg)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package check_test
+
+import (
+	"testing"
+
+	"tracecache/internal/core"
+	"tracecache/internal/sim"
+	"tracecache/internal/workload"
+)
+
+// fuzzConfig decodes one byte into a legal machine configuration, covering
+// every packing policy, promotion on and off at several thresholds, both
+// fetch mechanisms, both fetch widths, and both predictor organizations.
+func fuzzConfig(sel uint8) sim.Config {
+	if sel&0x10 != 0 {
+		cfg := sim.ICacheConfig()
+		cfg.Name = "fuzz-icache"
+		return cfg
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Name = "fuzz-trace"
+	policy := []core.PackPolicy{
+		core.PackAtomic, core.PackUnregulated, core.PackChunk2, core.PackCostRegulated,
+	}[sel&0x3]
+	threshold := []uint32{0, 1, 8, 64}[(sel>>2)&0x3]
+	cfg.Fill = core.DefaultFillConfig(policy, threshold)
+	if sel&0x20 != 0 {
+		cfg.FetchWidth = 8
+		cfg.Fill.MaxInsts = 8
+	}
+	cfg.SplitMBP = sel&0x40 != 0
+	cfg.SingleHybrid = sel&0x80 != 0
+	return cfg
+}
+
+// FuzzDifferential drives randomized programs through randomized legal
+// configurations with the full self-check layer enabled: lockstep
+// differential execution, structural invariants, and the conservation
+// identities. Any violation fails the fuzz target. Minimized seeds live
+// under testdata/fuzz/FuzzDifferential.
+func FuzzDifferential(f *testing.F) {
+	// Seed corpus: every front end and packing policy, the promotion
+	// thresholds, the single-hybrid predictor (the organization whose
+	// wrong-path suffix injection this layer originally flushed out),
+	// and a spread of program generators.
+	for sel := 0; sel < 8; sel++ {
+		f.Add(uint8(sel), uint8(sel<<2), int64(1))
+	}
+	f.Add(uint8(0x10), uint8(0), int64(2))      // icache front end
+	f.Add(uint8(0x20|0x80), uint8(1), int64(3)) // 8-wide, single hybrid
+	f.Add(uint8(0x40|0xf), uint8(4), int64(4))  // split MBP, costreg, threshold 64
+
+	names := workload.Names()
+	f.Fuzz(func(t *testing.T, sel uint8, profSel uint8, seed int64) {
+		prof, ok := workload.ByName(names[int(profSel)%len(names)])
+		if !ok {
+			t.Skip("unknown profile")
+		}
+		prof.Seed = seed
+		if err := prof.Validate(); err != nil {
+			t.Skip(err)
+		}
+		prog, err := prof.Generate()
+		if err != nil {
+			t.Skip(err)
+		}
+
+		cfg := fuzzConfig(sel)
+		cfg.WarmupInsts = 2_000
+		cfg.MaxInsts = 6_000
+		cfg.MaxCycles = 300_000
+		cfg.Check = true
+		s, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		chk := s.Checker()
+		if chk == nil {
+			t.Fatal("Check=true built no checker")
+		}
+		if chk.Total() > 0 {
+			t.Fatalf("sel=%#x profile=%s seed=%d:\n%s",
+				sel, prof.Name, seed, chk.Report())
+		}
+	})
+}

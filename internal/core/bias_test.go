@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"tracecache/internal/isa"
 )
 
 func TestBiasTableConsecutiveCount(t *testing.T) {
@@ -99,5 +101,119 @@ func TestBiasTableCountProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPromotionThresholdBoundary pins the promotion boundary: the fill
+// unit updates the bias table before consulting it, so the t-th
+// consecutive same-direction instance of a branch is the first one
+// embedded promoted (its update raises the count to exactly t).
+func TestPromotionThresholdBoundary(t *testing.T) {
+	for _, threshold := range []uint32{1, 2, 8, 64} {
+		f := NewFillUnit(FillConfig{PromoteThreshold: threshold}, nil)
+		br := isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: 2000}
+		for i := uint32(0); i < threshold-1; i++ {
+			f.Retire(7, br, true)
+		}
+		if got := f.Stats().Promotions; got != 0 {
+			t.Errorf("t=%d: %d instances promoted before the threshold", threshold, got)
+		}
+		f.Retire(7, br, true)
+		if got := f.Stats().Promotions; got != 1 {
+			t.Errorf("t=%d: promotions after threshold-th instance = %d, want 1", threshold, got)
+		}
+		// Every later consecutive instance stays promoted.
+		for i := 0; i < 5; i++ {
+			f.Retire(7, br, true)
+		}
+		if got := f.Stats().Promotions; got != 6 {
+			t.Errorf("t=%d: promotions after 5 more instances = %d, want 6", threshold, got)
+		}
+	}
+}
+
+// TestPromotionSurvivesSaturation pins that counter saturation does not
+// end promotion: once the count saturates at BiasMaxCount >= threshold,
+// later same-direction instances keep promoting.
+func TestPromotionSurvivesSaturation(t *testing.T) {
+	f := NewFillUnit(FillConfig{PromoteThreshold: 8, BiasMaxCount: 8}, nil)
+	br := isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: 2000}
+	for i := 0; i < 100; i++ {
+		f.Retire(7, br, true)
+	}
+	// Instances 8..100 are promoted; the count has long been pinned at 8.
+	if got := f.Stats().Promotions; got != 93 {
+		t.Errorf("promotions = %d, want 93", got)
+	}
+	if _, count, _ := f.Bias().Lookup(7); count != 8 {
+		t.Errorf("count = %d, want saturated 8", count)
+	}
+}
+
+// TestBiasMaxCountClampedToThreshold pins the constructor clamp: a
+// configuration whose saturation ceiling is below its promotion threshold
+// would otherwise never promote (the count could never reach the
+// threshold), so NewFillUnit raises the ceiling to the threshold.
+func TestBiasMaxCountClampedToThreshold(t *testing.T) {
+	f := NewFillUnit(FillConfig{PromoteThreshold: 64, BiasMaxCount: 4}, nil)
+	br := isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: 2000}
+	for i := 0; i < 64; i++ {
+		f.Retire(7, br, true)
+	}
+	if got := f.Stats().Promotions; got != 1 {
+		t.Errorf("promotions = %d, want 1 (64th instance)", got)
+	}
+}
+
+// TestPromotionFlipResets pins that one opposite outcome restarts the
+// consecutive count: after a flip the branch must repeat the threshold
+// again before promoting.
+func TestPromotionFlipResets(t *testing.T) {
+	const threshold = 4
+	f := NewFillUnit(FillConfig{PromoteThreshold: threshold}, nil)
+	br := isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: 2000}
+	for i := 0; i < 10; i++ {
+		f.Retire(7, br, true)
+	}
+	base := f.Stats().Promotions // instances 4..10
+	f.Retire(7, br, false)       // flip: count=1 toward not-taken
+	for i := 0; i < threshold-1; i++ {
+		f.Retire(7, br, true) // counts 1..3 toward taken
+	}
+	if got := f.Stats().Promotions; got != base {
+		t.Errorf("promotions grew to %d during re-bias (base %d)", got, base)
+	}
+	f.Retire(7, br, true) // count 4: promoted again
+	if got := f.Stats().Promotions; got != base+1 {
+		t.Errorf("promotions = %d, want %d", got, base+1)
+	}
+}
+
+// TestShouldDemoteTable drives the demotion rule through its boundary
+// cases: a miss demotes, a single opposite outcome does not, two or more
+// consecutive opposite outcomes do, and same-direction history never does.
+func TestShouldDemoteTable(t *testing.T) {
+	cases := []struct {
+		name        string
+		outcomes    []bool // Update sequence for the branch
+		promotedDir bool
+		want        bool
+	}{
+		{"miss demotes", nil, true, true},
+		{"one opposite keeps", []bool{true, true, true, false}, true, false},
+		{"two opposite demote", []bool{true, true, false, false}, true, true},
+		{"three opposite demote", []bool{false, false, false}, true, true},
+		{"same direction keeps", []bool{true, true, true}, true, false},
+		{"opposite promoted dir", []bool{false, false}, false, false},
+		{"single outcome opposite keeps", []bool{false}, true, false},
+	}
+	for _, tc := range cases {
+		b := NewBiasTable(64, 1023)
+		for _, taken := range tc.outcomes {
+			b.Update(9, taken)
+		}
+		if got := b.ShouldDemote(9, tc.promotedDir); got != tc.want {
+			t.Errorf("%s: ShouldDemote = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

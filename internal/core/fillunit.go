@@ -49,9 +49,9 @@ func (p PackPolicy) chunk() int {
 	return 1
 }
 
-// tightLoopDisplacement is the maximum backward-branch displacement (in
+// TightLoopDisplacement is the maximum backward-branch displacement (in
 // instructions) that cost-regulated packing treats as a tight loop.
-const tightLoopDisplacement = 32
+const TightLoopDisplacement = 32
 
 // FillConfig parameterises the fill unit.
 type FillConfig struct {
@@ -125,6 +125,10 @@ type FillUnit struct {
 	obs             *obs.Bus
 	// OnSegment, when set, observes every finalized segment.
 	OnSegment func(*Segment)
+	// OnPack, when set, observes every packing split before the packed
+	// prefix is appended: the pending segment as it stood, the free slots,
+	// the instructions taken, and the length of the block being split.
+	OnPack func(pending []SegInst, space, take, blockLen int)
 }
 
 // NewFillUnit builds a fill unit writing into tc (which may be nil for
@@ -138,6 +142,14 @@ func NewFillUnit(cfg FillConfig, tc *TraceCache) *FillUnit {
 	}
 	if cfg.BiasMaxCount == 0 {
 		cfg.BiasMaxCount = 1023
+	}
+	// The consecutive-outcome counter must be able to reach the promotion
+	// threshold: a saturation cap below it would silently disable
+	// promotion (count saturates at BiasMaxCount and the >= threshold
+	// test never passes). The shipped configurations use thresholds well
+	// under the default cap, so the clamp is behaviour-neutral for them.
+	if cfg.BiasMaxCount < cfg.PromoteThreshold {
+		cfg.BiasMaxCount = cfg.PromoteThreshold
 	}
 	f := &FillUnit{cfg: cfg, tc: tc}
 	if cfg.PromoteThreshold > 0 && cfg.StaticPromotions == nil {
@@ -222,6 +234,9 @@ func (f *FillUnit) mergeBlock() {
 			f.finalize(FinalAtomic)
 			continue
 		}
+		if f.OnPack != nil {
+			f.OnPack(f.pending, space, take, len(blk))
+		}
 		f.appendInsts(blk[:take])
 		blk = blk[take:]
 		f.stats.Splits++
@@ -263,9 +278,13 @@ func (f *FillUnit) packAmount(space, blockLen int) int {
 	return 0
 }
 
-// packingWorthwhile implements the cost-regulated test: unused slots are at
-// least half the pending instructions, or the pending segment contains a
-// tight backward branch.
+// packingWorthwhile implements the cost-regulated test: the segment is
+// "half empty" in the sense that the unused slots amount to at least half
+// of the instructions already pending (unused*2 >= len(pending), i.e. the
+// segment is at most two-thirds full), or the pending segment contains a
+// tight backward branch. Note the first trigger compares against the
+// pending length, not against half the segment capacity; the self-check
+// layer and the fill-unit tests pin this exact rule.
 func (f *FillUnit) packingWorthwhile() bool {
 	unused := f.cfg.MaxInsts - len(f.pending)
 	if unused*2 >= len(f.pending) {
@@ -273,7 +292,7 @@ func (f *FillUnit) packingWorthwhile() bool {
 	}
 	for _, si := range f.pending {
 		if si.Inst.Op == isa.OpBr && si.Inst.Target <= si.PC &&
-			si.PC-si.Inst.Target <= tightLoopDisplacement {
+			si.PC-si.Inst.Target <= TightLoopDisplacement {
 			return true
 		}
 	}

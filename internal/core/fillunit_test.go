@@ -396,3 +396,80 @@ func TestPackPolicyString(t *testing.T) {
 		t.Error("unknown policy name wrong")
 	}
 }
+
+// TestFillCostRegulatedPendingLengthBoundary pins the implemented
+// half-empty trigger, unused*2 >= len(pending): with 16-instruction
+// segments, 10 pending instructions still pack (6 unused, 12 >= 10) while
+// 11 do not (5 unused, 10 < 11). A capacity-halves reading (pack iff at
+// most 8 pending) would fail both cases.
+func TestFillCostRegulatedPendingLengthBoundary(t *testing.T) {
+	cases := []struct {
+		pending   int
+		wantSplit bool
+	}{
+		{8, true},  // exactly half the capacity: both readings pack
+		{10, true}, // boundary of the implemented rule: 12 >= 10
+		{11, false},
+		{14, false},
+	}
+	for _, tc := range cases {
+		fd := newFeeder(DefaultFillConfig(PackCostRegulated, 0))
+		fd.block(tc.pending, true)
+		// The follow-on block must exceed the free space so a packing
+		// decision happens at all.
+		fd.block(17-tc.pending, true)
+		splits := fd.f.Stats().Splits
+		if tc.wantSplit && (splits != 1 || len(fd.segs) != 1 || fd.segs[0].Len() != 16) {
+			t.Errorf("pending=%d: splits=%d segs=%d, want a packed max-size segment",
+				tc.pending, splits, len(fd.segs))
+		}
+		if !tc.wantSplit && (splits != 0 || len(fd.segs) != 1 || fd.segs[0].Len() != tc.pending) {
+			t.Errorf("pending=%d: splits=%d segs=%d, want an unpacked atomic segment",
+				tc.pending, splits, len(fd.segs))
+		}
+		if !tc.wantSplit && fd.segs[0].Reason != FinalAtomic {
+			t.Errorf("pending=%d: reason = %v, want FinalAtomic", tc.pending, fd.segs[0].Reason)
+		}
+	}
+}
+
+// TestFillCostRegulatedTightLoopDisplacementBoundary pins the second
+// trigger's displacement cutoff: a backward branch exactly
+// TightLoopDisplacement instructions back forces packing even when the
+// segment is nearly full; one instruction further does not.
+func TestFillCostRegulatedTightLoopDisplacementBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		disp      int
+		wantSplit bool
+	}{
+		{TightLoopDisplacement, true},
+		{TightLoopDisplacement + 1, false},
+	} {
+		cfg := DefaultFillConfig(PackCostRegulated, 0)
+		f := NewFillUnit(cfg, nil)
+		var segs []*Segment
+		f.OnSegment = func(s *Segment) { segs = append(segs, s) }
+		pc := 1000
+		// 12 pending instructions (5 unused, 10 < 12: half-empty trigger
+		// off) ending in a backward branch of the given displacement.
+		for i := 0; i < 11; i++ {
+			f.Retire(pc, isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 2}, false)
+			pc++
+		}
+		f.Retire(pc, isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: pc - tc.disp}, true)
+		pc++
+		// An 8-instruction block that does not fit in the 4 free slots.
+		for i := 0; i < 7; i++ {
+			f.Retire(pc, isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 2}, false)
+			pc++
+		}
+		f.Retire(pc, isa.Inst{Op: isa.OpBr, Cond: isa.CondEQ, Target: pc + 1000}, false)
+		splits := f.Stats().Splits
+		if tc.wantSplit && (splits != 1 || len(segs) != 1 || segs[0].Len() != 16) {
+			t.Errorf("disp=%d: splits=%d segs=%d, want tight-loop packing", tc.disp, splits, len(segs))
+		}
+		if !tc.wantSplit && (splits != 0 || len(segs) != 1 || segs[0].Len() != 12) {
+			t.Errorf("disp=%d: splits=%d segs=%d, want no packing", tc.disp, splits, len(segs))
+		}
+	}
+}

@@ -209,6 +209,11 @@ type TraceCache struct {
 	clock     uint64
 	pathAssoc bool
 	stats     TraceCacheStats
+	// livePromoted tracks the promoted-branch instances embedded in
+	// resident segments, maintained incrementally by Insert,
+	// InvalidatePromoted and Reset. ResidentPromoted recounts it from
+	// scratch; the self-check layer compares the two.
+	livePromoted int
 }
 
 // NewTraceCache builds a trace cache.
@@ -226,17 +231,27 @@ func NewTraceCache(cfg TraceCacheConfig) (*TraceCache, error) {
 	return t, nil
 }
 
-// MustNewTraceCache is NewTraceCache, panicking on config errors.
-func MustNewTraceCache(cfg TraceCacheConfig) *TraceCache {
-	t, err := NewTraceCache(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // Stats returns activity counters.
 func (t *TraceCache) Stats() TraceCacheStats { return t.stats }
+
+// LivePromoted returns the incrementally maintained count of promoted
+// branch instances embedded in resident segments.
+func (t *TraceCache) LivePromoted() int { return t.livePromoted }
+
+// ResidentPromoted recounts the promoted branch instances embedded in
+// resident segments by walking the whole cache. It exists for the
+// self-check layer, which verifies it against LivePromoted.
+func (t *TraceCache) ResidentPromoted() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].seg != nil {
+				n += set[i].seg.NumPromoted()
+			}
+		}
+	}
+	return n
+}
 
 // Lookup returns the segment starting at start, or nil on a miss.
 func (t *TraceCache) Lookup(start int) *Segment {
@@ -274,6 +289,7 @@ func (t *TraceCache) Insert(seg *Segment) {
 			if set[i].seg != seg {
 				t.stats.Overwrites++
 			}
+			t.livePromoted += seg.NumPromoted() - set[i].seg.NumPromoted()
 			set[i] = tcWay{seg: seg, lru: t.clock}
 			return
 		}
@@ -285,7 +301,9 @@ func (t *TraceCache) Insert(seg *Segment) {
 	}
 	if set[victim].seg != nil {
 		t.stats.Evictions++
+		t.livePromoted -= set[victim].seg.NumPromoted()
 	}
+	t.livePromoted += seg.NumPromoted()
 	set[victim] = tcWay{seg: seg, lru: t.clock}
 }
 
@@ -338,6 +356,7 @@ func (t *TraceCache) InvalidatePromoted(pc int) int {
 	for _, set := range t.sets {
 		for i := range set {
 			if set[i].seg != nil && set[i].seg.ContainsPromoted(pc) {
+				t.livePromoted -= set[i].seg.NumPromoted()
 				set[i] = tcWay{}
 				n++
 			}
@@ -356,4 +375,5 @@ func (t *TraceCache) Reset() {
 	}
 	t.clock = 0
 	t.stats = TraceCacheStats{}
+	t.livePromoted = 0
 }

@@ -216,3 +216,31 @@ func TestTraceCacheHitRate(t *testing.T) {
 		t.Errorf("hit rate = %v", st.HitRate())
 	}
 }
+
+// MustNewTraceCache is a test helper for known-good configurations.
+func MustNewTraceCache(cfg TraceCacheConfig) *TraceCache {
+	tc, err := NewTraceCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tc
+}
+
+// TestNewTraceCacheRejectsBadGeometry pins the error path that replaced
+// the panicking constructor: invalid geometries return errors.
+func TestNewTraceCacheRejectsBadGeometry(t *testing.T) {
+	for _, cfg := range []TraceCacheConfig{
+		{},
+		{Entries: 16},
+		{Entries: 0, Assoc: 4},
+		{Entries: 15, Assoc: 4},
+		{Entries: 24, Assoc: 4}, // 6 sets: not a power of two
+	} {
+		if tc, err := NewTraceCache(cfg); err == nil || tc != nil {
+			t.Errorf("NewTraceCache(%+v) = %v, %v; want nil, error", cfg, tc, err)
+		}
+	}
+	if _, err := NewTraceCache(TraceCacheConfig{Entries: 2048, Assoc: 4}); err != nil {
+		t.Errorf("paper geometry rejected: %v", err)
+	}
+}

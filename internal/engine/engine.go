@@ -13,6 +13,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"tracecache/internal/cache"
 )
 
@@ -189,6 +191,26 @@ func (e *Engine) valid(r ref) *inst {
 
 // InFlight returns the number of occupied window slots.
 func (e *Engine) InFlight() int { return int(e.tail - e.head) }
+
+// CheckInvariants verifies the instruction-window bookkeeping: the
+// occupancy is within [0, Window] and every slot in [head, tail) holds a
+// live instruction whose stored sequence number matches its position.
+// Used by the self-check layer; returns the first failure found.
+func (e *Engine) CheckInvariants() error {
+	if e.tail < e.head {
+		return fmt.Errorf("engine: window tail %d behind head %d", e.tail, e.head)
+	}
+	if n := e.InFlight(); n > e.cfg.Window() {
+		return fmt.Errorf("engine: %d instructions in flight, window holds %d", n, e.cfg.Window())
+	}
+	for s := e.head; s < e.tail; s++ {
+		in := e.slot(s)
+		if !in.live || in.seq != s {
+			return fmt.Errorf("engine: window slot for seq %d holds live=%v seq=%d", s, in.live, in.seq)
+		}
+	}
+	return nil
+}
 
 // SpaceFor reports whether n more instructions fit in the window.
 func (e *Engine) SpaceFor(n int) bool { return e.InFlight()+n <= e.cfg.Window() }

@@ -8,9 +8,9 @@ import (
 
 func testHier() *cache.Hierarchy {
 	return &cache.Hierarchy{
-		L1I: cache.MustNew(cache.Config{Name: "l1i", SizeBytes: 4096, LineBytes: 64, Assoc: 4}),
-		L1D: cache.MustNew(cache.Config{Name: "l1d", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 4}),
-		L2:  cache.MustNew(cache.Config{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}),
+		L1I: mustCache(cache.Config{Name: "l1i", SizeBytes: 4096, LineBytes: 64, Assoc: 4}),
+		L1D: mustCache(cache.Config{Name: "l1d", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 4}),
+		L2:  mustCache(cache.Config{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}),
 	}
 }
 
@@ -313,4 +313,13 @@ func TestNextSeqAdvances(t *testing.T) {
 	if e.NextSeq() != 1 {
 		t.Error("seq did not advance")
 	}
+}
+
+// mustCache builds a cache from a known-good test config.
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

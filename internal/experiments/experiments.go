@@ -19,7 +19,10 @@ type Experiment struct {
 	// Paper summarises the result the paper reports, for side-by-side
 	// comparison in EXPERIMENTS.md.
 	Paper string
-	Run   func(*Runner) string
+	// Run renders the experiment. Simulation failures (bad configuration,
+	// self-check violations) surface as errors rather than panics so a
+	// parallel tcbench reports them per-experiment.
+	Run func(*Runner) (string, error)
 }
 
 // All returns every experiment in paper order.
@@ -68,11 +71,14 @@ func IDs() []string {
 
 // Table1 reports the benchmark suite: the paper's instruction counts and
 // inputs alongside the synthetic stand-ins' static properties.
-func Table1(r *Runner) string {
+func Table1(r *Runner) (string, error) {
 	rows := make([][]string, 0, 15)
 	for _, name := range workload.Names() {
 		prof, _ := workload.ByName(name)
-		p := r.prog(name)
+		p, err := workload.SharedProgram(name)
+		if err != nil {
+			return "", err
+		}
 		st := p.Stats()
 		rows = append(rows, []string{
 			name,
@@ -85,7 +91,7 @@ func Table1(r *Runner) string {
 	}
 	return textplot.Table(
 		[]string{"Benchmark", "Paper Insts", "Paper Input", "Synth Code", "Blk Size", "CondBr"},
-		rows)
+		rows), nil
 }
 
 // ------------------------------------------------------- figures 4 and 6
@@ -114,16 +120,22 @@ func fetchBreakdown(run *stats.Run) string {
 
 // Fig4 is the fetch width breakdown for gcc under the baseline trace
 // cache.
-func Fig4(r *Runner) string {
-	run := r.Run(config.Baseline(), "gcc")
-	return "gcc, baseline 128KB trace cache\n\n" + fetchBreakdown(run)
+func Fig4(r *Runner) (string, error) {
+	run, err := r.RunE(config.Baseline(), "gcc")
+	if err != nil {
+		return "", err
+	}
+	return "gcc, baseline 128KB trace cache\n\n" + fetchBreakdown(run), nil
 }
 
 // Fig6 is the fetch width breakdown for gcc with branch promotion at
 // threshold 64.
-func Fig6(r *Runner) string {
-	run := r.Run(config.Promotion(64), "gcc")
-	return "gcc, 128KB trace cache with branch promotion (threshold 64)\n\n" + fetchBreakdown(run)
+func Fig6(r *Runner) (string, error) {
+	run, err := r.RunE(config.Promotion(64), "gcc")
+	if err != nil {
+		return "", err
+	}
+	return "gcc, 128KB trace cache with branch promotion (threshold 64)\n\n" + fetchBreakdown(run), nil
 }
 
 // ---------------------------------------------------------------- table 2
@@ -133,18 +145,28 @@ var Table2Thresholds = []uint32{8, 16, 32, 64, 128, 256}
 
 // Table2 reports the average effective fetch rate with and without branch
 // promotion.
-func Table2(r *Runner) string {
-	rows := [][]string{
-		{"icache", fmt.Sprintf("%.2f", r.AvgEffRate(config.ICache()))},
-		{"baseline", fmt.Sprintf("%.2f", r.AvgEffRate(config.Baseline()))},
+func Table2(r *Runner) (string, error) {
+	var rows [][]string
+	add := func(label string, cfg sim.Config) error {
+		rate, err := r.AvgEffRateE(cfg)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{label, fmt.Sprintf("%.2f", rate)})
+		return nil
+	}
+	if err := add("icache", config.ICache()); err != nil {
+		return "", err
+	}
+	if err := add("baseline", config.Baseline()); err != nil {
+		return "", err
 	}
 	for _, t := range Table2Thresholds {
-		rows = append(rows, []string{
-			fmt.Sprintf("threshold = %d", t),
-			fmt.Sprintf("%.2f", r.AvgEffRate(config.Promotion(t))),
-		})
+		if err := add(fmt.Sprintf("threshold = %d", t), config.Promotion(t)); err != nil {
+			return "", err
+		}
 	}
-	return textplot.Table([]string{"Configuration", "Ave effective fetch rate"}, rows)
+	return textplot.Table([]string{"Configuration", "Ave effective fetch rate"}, rows), nil
 }
 
 // ---------------------------------------------------------------- fig 7
@@ -152,11 +174,17 @@ func Table2(r *Runner) string {
 // Fig7 reports the percent change, relative to the baseline, in the
 // number of mispredicted conditional branches when branches are promoted
 // (promoted-branch faults count as mispredictions).
-func Fig7(r *Runner) string {
+func Fig7(r *Runner) (string, error) {
 	var b strings.Builder
 	for _, t := range []uint32{64, 128, 256} {
-		base := r.Sweep(config.Baseline())
-		promo := r.Sweep(config.Promotion(t))
+		base, err := r.SweepE(config.Baseline())
+		if err != nil {
+			return "", err
+		}
+		promo, err := r.SweepE(config.Promotion(t))
+		if err != nil {
+			return "", err
+		}
 		vals := make([]float64, len(base))
 		for i := range base {
 			vals[i] = stats.PercentChange(float64(base[i].CondMispredicts), float64(promo[i].CondMispredicts))
@@ -166,17 +194,20 @@ func Fig7(r *Runner) string {
 			r.ShortBenchmarks(), vals, 40))
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // ---------------------------------------------------------------- table 3
 
 // Table3 reports the number of dynamic predictions required each fetch
 // cycle, averaged over all benchmarks.
-func Table3(r *Runner) string {
-	row := func(name string, cfg sim.Config) []string {
+func Table3(r *Runner) (string, error) {
+	row := func(name string, cfg sim.Config) ([]string, error) {
 		var z, two, three float64
-		runs := r.Sweep(cfg)
+		runs, err := r.SweepE(cfg)
+		if err != nil {
+			return nil, err
+		}
 		for _, run := range runs {
 			a, b, c := run.PredsFracs()
 			z += a
@@ -189,22 +220,33 @@ func Table3(r *Runner) string {
 			fmt.Sprintf("%.0f%%", 100*z/n),
 			fmt.Sprintf("%.0f%%", 100*two/n),
 			fmt.Sprintf("%.0f%%", 100*three/n),
-		}
+		}, nil
+	}
+	base, err := row("baseline", config.Baseline())
+	if err != nil {
+		return "", err
+	}
+	promo, err := row("threshold = 64", config.Promotion(config.PromotionThreshold))
+	if err != nil {
+		return "", err
 	}
 	return textplot.Table(
 		[]string{"Configuration", "0 or 1 predictions", "2 predictions", "3 predictions"},
-		[][]string{
-			row("baseline", config.Baseline()),
-			row("threshold = 64", config.Promotion(config.PromotionThreshold)),
-		})
+		[][]string{base, promo}), nil
 }
 
 // ---------------------------------------------------------------- fig 9
 
 // Fig9 compares effective fetch rates with and without trace packing.
-func Fig9(r *Runner) string {
-	base := r.Sweep(config.Baseline())
-	pack := r.Sweep(config.Packing())
+func Fig9(r *Runner) (string, error) {
+	base, err := r.SweepE(config.Baseline())
+	if err != nil {
+		return "", err
+	}
+	pack, err := r.SweepE(config.Packing())
+	if err != nil {
+		return "", err
+	}
 	bv := make([]float64, len(base))
 	pv := make([]float64, len(base))
 	var notes []string
@@ -219,7 +261,7 @@ func Fig9(r *Runner) string {
 	out += "\nPacking gain: " + strings.Join(notes, ", ") + "\n"
 	out += fmt.Sprintf("Average: baseline %.2f, packing %.2f (%+.0f%%)\n",
 		avg(bv), avg(pv), stats.PercentChange(avg(bv), avg(pv)))
-	return out
+	return out, nil
 }
 
 // ---------------------------------------------------------------- fig 10
@@ -236,12 +278,15 @@ func Fig10Configs() []sim.Config {
 }
 
 // Fig10 compares effective fetch rates for all techniques.
-func Fig10(r *Runner) string {
+func Fig10(r *Runner) (string, error) {
 	cfgs := Fig10Configs()
 	names := []string{"icache", "baseline", "packing", "promotion", "promotion+packing"}
 	values := make([][]float64, len(cfgs))
 	for i, cfg := range cfgs {
-		runs := r.Sweep(cfg)
+		runs, err := r.SweepE(cfg)
+		if err != nil {
+			return "", err
+		}
 		values[i] = make([]float64, len(runs))
 		for j, run := range runs {
 			values[i][j] = run.EffFetchRate()
@@ -255,7 +300,7 @@ func Fig10(r *Runner) string {
 	}
 	out += fmt.Sprintf("\nPromotion+packing over baseline: %+.0f%%\n",
 		stats.PercentChange(avg(values[1]), avg(values[4])))
-	return out
+	return out, nil
 }
 
 // ---------------------------------------------------------------- table 4
@@ -267,7 +312,7 @@ var Table4Benchmarks = []string{"gcc", "go", "vortex", "ghostscript", "python", 
 // Table4 reports the percent increase in cache-miss cycles of each packing
 // scheme over the promotion-only configuration, plus average effective
 // fetch rates.
-func Table4(r *Runner) string {
+func Table4(r *Runner) (string, error) {
 	promo := config.Promotion(config.PromotionThreshold)
 	schemes := []struct {
 		label string
@@ -280,10 +325,16 @@ func Table4(r *Runner) string {
 	}
 	rows := make([][]string, 0, len(Table4Benchmarks)+1)
 	for _, bench := range Table4Benchmarks {
-		base := r.Run(promo, bench)
+		base, err := r.RunE(promo, bench)
+		if err != nil {
+			return "", err
+		}
 		row := []string{workload.ShortName(bench)}
 		for _, s := range schemes {
-			run := r.Run(s.cfg, bench)
+			run, err := r.RunE(s.cfg, bench)
+			if err != nil {
+				return "", err
+			}
 			row = append(row, fmt.Sprintf("%+.1f%%",
 				stats.PercentChange(float64(base.TCMissCycles), float64(run.TCMissCycles))))
 		}
@@ -291,20 +342,33 @@ func Table4(r *Runner) string {
 	}
 	effRow := []string{"Ave Eff Fetch Rate"}
 	for _, s := range schemes {
-		effRow = append(effRow, fmt.Sprintf("%.2f", r.AvgEffRate(s.cfg)))
+		rate, err := r.AvgEffRateE(s.cfg)
+		if err != nil {
+			return "", err
+		}
+		effRow = append(effRow, fmt.Sprintf("%.2f", rate))
 	}
 	rows = append(rows, effRow)
-	return textplot.Table([]string{"Benchmark", "unreg", "cost-reg", "n=2", "n=4"}, rows)
+	return textplot.Table([]string{"Benchmark", "unreg", "cost-reg", "n=2", "n=4"}, rows), nil
 }
 
 // ------------------------------------------------------- figures 11-16
 
 // perfFigure renders an IPC comparison for the three machines of Figures
 // 11 and 16.
-func perfFigure(r *Runner, title string, icache, baseline, best sim.Config) string {
-	ic := r.Sweep(icache)
-	bl := r.Sweep(baseline)
-	pp := r.Sweep(best)
+func perfFigure(r *Runner, title string, icache, baseline, best sim.Config) (string, error) {
+	ic, err := r.SweepE(icache)
+	if err != nil {
+		return "", err
+	}
+	bl, err := r.SweepE(baseline)
+	if err != nil {
+		return "", err
+	}
+	pp, err := r.SweepE(best)
+	if err != nil {
+		return "", err
+	}
 	iv, bv, pv := make([]float64, len(ic)), make([]float64, len(ic)), make([]float64, len(ic))
 	for i := range ic {
 		iv[i], bv[i], pv[i] = ic[i].IPC(), bl[i].IPC(), pp[i].IPC()
@@ -320,19 +384,22 @@ func perfFigure(r *Runner, title string, icache, baseline, best sim.Config) stri
 	out += fmt.Sprintf("Average IPC: icache %.2f, baseline %.2f, promo+pack %.2f\n", avg(iv), avg(bv), avg(pv))
 	out += fmt.Sprintf("Overall: %+.0f%% over baseline, %+.0f%% over icache\n",
 		stats.PercentChange(avg(bv), avg(pv)), stats.PercentChange(avg(iv), avg(pv)))
-	return out
+	return out, nil
 }
 
 // Fig11 is the overall performance of promotion and cost-regulated trace
 // packing under the realistic execution core.
-func Fig11(r *Runner) string {
+func Fig11(r *Runner) (string, error) {
 	return perfFigure(r, "IPC (realistic core, conservative memory scheduling)",
 		config.ICache(), config.Baseline(), config.Best())
 }
 
 // Fig12 accounts for every fetch cycle of the promotion+packing machine.
-func Fig12(r *Runner) string {
-	runs := r.Sweep(config.Best())
+func Fig12(r *Runner) (string, error) {
+	runs, err := r.SweepE(config.Best())
+	if err != nil {
+		return "", err
+	}
 	series := make([]string, stats.NumCycleClasses)
 	values := make([][]float64, stats.NumCycleClasses)
 	for c := stats.CycleClass(0); c < stats.NumCycleClasses; c++ {
@@ -345,39 +412,56 @@ func Fig12(r *Runner) string {
 		}
 	}
 	return textplot.GroupedBars("Fetch cycle accounting (% of cycles), promotion+packing",
-		r.ShortBenchmarks(), series, values, 40)
+		r.ShortBenchmarks(), series, values, 40), nil
+}
+
+// baseBest sweeps the baseline and promotion+packing machines.
+func baseBest(r *Runner) (base, best []*stats.Run, err error) {
+	if base, err = r.SweepE(config.Baseline()); err != nil {
+		return nil, nil, err
+	}
+	if best, err = r.SweepE(config.Best()); err != nil {
+		return nil, nil, err
+	}
+	return base, best, nil
 }
 
 // Fig13 reports the percent change in fetch cycles lost to branch
 // mispredictions between the baseline and promotion+packing.
-func Fig13(r *Runner) string {
-	base := r.Sweep(config.Baseline())
-	best := r.Sweep(config.Best())
+func Fig13(r *Runner) (string, error) {
+	base, best, err := baseBest(r)
+	if err != nil {
+		return "", err
+	}
 	vals := make([]float64, len(base))
 	for i := range base {
 		vals[i] = stats.PercentChange(float64(base[i].LostToMispredicts()), float64(best[i].LostToMispredicts()))
 	}
 	return textplot.SignedBars("% change in fetch cycles lost to mispredictions",
-		r.ShortBenchmarks(), vals, 40)
+		r.ShortBenchmarks(), vals, 40), nil
 }
 
 // Fig14 reports the percent change in mispredicted branches (conditional
 // and indirect; returns are ideal).
-func Fig14(r *Runner) string {
-	base := r.Sweep(config.Baseline())
-	best := r.Sweep(config.Best())
+func Fig14(r *Runner) (string, error) {
+	base, best, err := baseBest(r)
+	if err != nil {
+		return "", err
+	}
 	vals := make([]float64, len(base))
 	for i := range base {
 		vals[i] = stats.PercentChange(float64(base[i].TotalMispredicts()), float64(best[i].TotalMispredicts()))
 	}
 	return textplot.SignedBars("% change in mispredicted branches (cond + indirect)",
-		r.ShortBenchmarks(), vals, 40)
+		r.ShortBenchmarks(), vals, 40), nil
 }
 
 // Fig15 reports the percent change in mispredicted-branch resolution time.
-func Fig15(r *Runner) string {
-	base := r.Sweep(config.Baseline())
-	best := r.Sweep(config.Best())
+func Fig15(r *Runner) (string, error) {
+	base, best, err := baseBest(r)
+	if err != nil {
+		return "", err
+	}
 	vals := make([]float64, len(base))
 	sum := 0.0
 	for i := range base {
@@ -387,12 +471,12 @@ func Fig15(r *Runner) string {
 	out := textplot.SignedBars("% change in misprediction resolution time",
 		r.ShortBenchmarks(), vals, 40)
 	out += fmt.Sprintf("\nAverage change: %+.1f%%\n", sum/float64(len(vals)))
-	return out
+	return out, nil
 }
 
 // Fig16 is the overall performance with an ideal, aggressive execution
 // engine (perfect memory disambiguation on all three machines).
-func Fig16(r *Runner) string {
+func Fig16(r *Runner) (string, error) {
 	return perfFigure(r, "IPC (perfect memory disambiguation)",
 		config.Oracle(config.ICache()), config.Oracle(config.Baseline()), config.Oracle(config.Best()))
 }

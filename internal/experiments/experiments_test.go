@@ -7,6 +7,7 @@ import (
 	"tracecache/internal/config"
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
+	"tracecache/internal/stats"
 )
 
 // testRunner uses tiny budgets: these tests verify structure and plumbing,
@@ -41,15 +42,15 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestRunnerMemoizes(t *testing.T) {
 	r := testRunner()
-	a := r.Run(config.Baseline(), "compress")
-	b := r.Run(config.Baseline(), "compress")
+	a := runT(t, r, config.Baseline(), "compress")
+	b := runT(t, r, config.Baseline(), "compress")
 	if a != b {
 		t.Error("runs not memoized")
 	}
 	if len(r.CachedKeys()) != 1 {
 		t.Errorf("cached = %v", r.CachedKeys())
 	}
-	c := r.Run(config.ICache(), "compress")
+	c := runT(t, r, config.ICache(), "compress")
 	if c == a || len(r.CachedKeys()) != 2 {
 		t.Error("distinct configs must not collide")
 	}
@@ -57,7 +58,10 @@ func TestRunnerMemoizes(t *testing.T) {
 
 func TestSweepOrder(t *testing.T) {
 	r := testRunner()
-	runs := r.Sweep(config.Baseline())
+	runs, err := r.SweepE(config.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(runs) != 15 {
 		t.Fatalf("sweep = %d", len(runs))
 	}
@@ -67,7 +71,7 @@ func TestSweepOrder(t *testing.T) {
 }
 
 func TestTable1Smoke(t *testing.T) {
-	out := Table1(testRunner())
+	out := outT(t, Table1, testRunner())
 	for _, want := range []string{"compress", "tex", "95M", "jump.i"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table1 missing %q", want)
@@ -77,8 +81,8 @@ func TestTable1Smoke(t *testing.T) {
 
 func TestFig4Fig6Smoke(t *testing.T) {
 	r := testRunner()
-	for _, f := range []func(*Runner) string{Fig4, Fig6} {
-		out := f(r)
+	for _, f := range []func(*Runner) (string, error){Fig4, Fig6} {
+		out := outT(t, f, r)
 		for _, want := range []string{"gcc", "Ave fetch size", "PartialMatch", "MaximumBRs"} {
 			if !strings.Contains(out, want) {
 				t.Errorf("breakdown missing %q:\n%s", want, out)
@@ -88,7 +92,7 @@ func TestFig4Fig6Smoke(t *testing.T) {
 }
 
 func TestTable2Smoke(t *testing.T) {
-	out := Table2(testRunner())
+	out := outT(t, Table2, testRunner())
 	for _, want := range []string{"icache", "baseline", "threshold = 8", "threshold = 256"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table2 missing %q", want)
@@ -97,14 +101,14 @@ func TestTable2Smoke(t *testing.T) {
 }
 
 func TestTable3Smoke(t *testing.T) {
-	out := Table3(testRunner())
+	out := outT(t, Table3, testRunner())
 	if !strings.Contains(out, "0 or 1 predictions") || !strings.Contains(out, "threshold = 64") {
 		t.Errorf("table3:\n%s", out)
 	}
 }
 
 func TestTable4Smoke(t *testing.T) {
-	out := Table4(testRunner())
+	out := outT(t, Table4, testRunner())
 	for _, want := range []string{"tex", "unreg", "cost-reg", "n=2", "n=4", "Ave Eff Fetch Rate"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table4 missing %q:\n%s", want, out)
@@ -130,7 +134,10 @@ func TestFiguresSmoke(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		out := e.Run(r)
+		out, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
 		for _, w := range wants {
 			if !strings.Contains(out, w) {
 				t.Errorf("%s missing %q", id, w)
@@ -171,21 +178,21 @@ func TestExtensionsRegistry(t *testing.T) {
 }
 
 func TestExtInactiveSmoke(t *testing.T) {
-	out := ExtInactive(testRunner())
+	out := outT(t, ExtInactive, testRunner())
 	if !strings.Contains(out, "inactive issue") || !strings.Contains(out, "Average") {
 		t.Errorf("ext-inactive:\n%s", out)
 	}
 }
 
 func TestExtPathAssocSmoke(t *testing.T) {
-	out := ExtPathAssoc(testRunner())
+	out := outT(t, ExtPathAssoc, testRunner())
 	if !strings.Contains(out, "path associativity") || !strings.Contains(out, "baseline") {
 		t.Errorf("ext-pathassoc:\n%s", out)
 	}
 }
 
 func TestExtStaticSmoke(t *testing.T) {
-	out := ExtStatic(testRunner())
+	out := outT(t, ExtStatic, testRunner())
 	for _, want := range []string{"dynamic eff", "static eff", "AVG"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ext-static missing %q:\n%s", want, out)
@@ -194,7 +201,7 @@ func TestExtStaticSmoke(t *testing.T) {
 }
 
 func TestExtTCSizeSmoke(t *testing.T) {
-	out := ExtTCSize(testRunner())
+	out := outT(t, ExtTCSize, testRunner())
 	for _, want := range []string{"256", "2048", "atomic eff", "costreg eff"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ext-tcsize missing %q:\n%s", want, out)
@@ -210,9 +217,36 @@ func TestRunConfiguredMemoizes(t *testing.T) {
 		calls++
 		prep(c, p)
 	}
-	a := r.RunConfigured(cfg, "compress", wrapped)
-	b := r.RunConfigured(cfg, "compress", wrapped)
+	a, err := r.RunConfiguredE(cfg, "compress", wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunConfiguredE(cfg, "compress", wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b || calls != 1 {
 		t.Errorf("memoization failed: calls = %d", calls)
 	}
+}
+
+// runT simulates or fails the test; smoke tests care about outputs, not
+// plumbing errors.
+func runT(t *testing.T, r *Runner, cfg sim.Config, bench string) *stats.Run {
+	t.Helper()
+	run, err := r.RunE(cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// outT renders an experiment body or fails the test.
+func outT(t *testing.T, f func(*Runner) (string, error), r *Runner) string {
+	t.Helper()
+	out, err := f(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

@@ -47,14 +47,23 @@ func StaticPromotionConfig() (sim.Config, func(*sim.Config, *program.Program)) {
 
 // ExtStatic compares dynamic promotion against profile-guided static
 // promotion.
-func ExtStatic(r *Runner) string {
+func ExtStatic(r *Runner) (string, error) {
 	staticCfg, prep := StaticPromotionConfig()
 	rows := make([][]string, 0, 16)
 	var dSum, sSum, bSum float64
 	for _, bench := range workload.Names() {
-		base := r.Run(config.Baseline(), bench)
-		dyn := r.Run(config.Promotion(config.PromotionThreshold), bench)
-		st := r.RunConfigured(staticCfg, bench, prep)
+		base, err := r.RunE(config.Baseline(), bench)
+		if err != nil {
+			return "", err
+		}
+		dyn, err := r.RunE(config.Promotion(config.PromotionThreshold), bench)
+		if err != nil {
+			return "", err
+		}
+		st, err := r.RunConfiguredE(staticCfg, bench, prep)
+		if err != nil {
+			return "", err
+		}
 		rows = append(rows, []string{
 			workload.ShortName(bench),
 			fmt.Sprintf("%.2f", base.EffFetchRate()),
@@ -73,12 +82,12 @@ func ExtStatic(r *Runner) string {
 		fmt.Sprintf("%.2f", sSum/n), "", ""})
 	return textplot.Table(
 		[]string{"Benchmark", "baseline eff", "dynamic eff", "static eff", "dyn faults", "static faults"},
-		rows)
+		rows), nil
 }
 
 // ExtPathAssoc measures path associativity on the baseline and the packed
 // trace cache.
-func ExtPathAssoc(r *Runner) string {
+func ExtPathAssoc(r *Runner) (string, error) {
 	pa := func(c sim.Config) sim.Config {
 		c.Name += "+pathassoc"
 		c.TC.PathAssoc = true
@@ -92,8 +101,14 @@ func ExtPathAssoc(r *Runner) string {
 		{"baseline", config.Baseline()},
 		{"promo+pack-unreg", config.PromotionPacking(core.PackUnregulated, config.PromotionThreshold)},
 	} {
-		plain := r.Sweep(pair.cfg)
-		assoc := r.Sweep(pa(pair.cfg))
+		plain, err := r.SweepE(pair.cfg)
+		if err != nil {
+			return "", err
+		}
+		assoc, err := r.SweepE(pa(pair.cfg))
+		if err != nil {
+			return "", err
+		}
 		var pe, ae float64
 		var pm, am uint64
 		for i := range plain {
@@ -107,16 +122,22 @@ func ExtPathAssoc(r *Runner) string {
 			pair.label, pe/n, ae/n, stats.PercentChange(pe/n, ae/n),
 			stats.PercentChange(float64(pm), float64(am)))
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // ExtInactive removes inactive issue from the baseline.
-func ExtInactive(r *Runner) string {
+func ExtInactive(r *Runner) (string, error) {
 	off := config.Baseline()
 	off.Name = "baseline-no-inactive"
 	off.DisableInactiveIssue = true
-	with := r.Sweep(config.Baseline())
-	without := r.Sweep(off)
+	with, err := r.SweepE(config.Baseline())
+	if err != nil {
+		return "", err
+	}
+	without, err := r.SweepE(off)
+	if err != nil {
+		return "", err
+	}
 	we, wo := make([]float64, len(with)), make([]float64, len(with))
 	for i := range with {
 		we[i] = with[i].EffFetchRate()
@@ -127,7 +148,7 @@ func ExtInactive(r *Runner) string {
 		[][]float64{we, wo}, 40)
 	out += fmt.Sprintf("\nAverage: %.2f with, %.2f without (%+.1f%%)\n",
 		avg(we), avg(wo), stats.PercentChange(avg(we), avg(wo)))
-	return out
+	return out, nil
 }
 
 // ExtTCSizeBenchmarks are the miss-sensitive benchmarks used by the size
@@ -136,7 +157,7 @@ var ExtTCSizeBenchmarks = Table4Benchmarks
 
 // ExtTCSize sweeps the trace cache size for three packing policies under
 // promotion, showing regulation mattering more as the cache shrinks.
-func ExtTCSize(r *Runner) string {
+func ExtTCSize(r *Runner) (string, error) {
 	sizes := []int{256, 512, 1024, 2048}
 	policies := []core.PackPolicy{core.PackAtomic, core.PackUnregulated, core.PackCostRegulated}
 	var b strings.Builder
@@ -154,7 +175,10 @@ func ExtTCSize(r *Runner) string {
 			var eff float64
 			var miss uint64
 			for _, bench := range ExtTCSizeBenchmarks {
-				run := r.Run(cfg, bench)
+				run, err := r.RunE(cfg, bench)
+				if err != nil {
+					return "", err
+				}
 				eff += run.EffFetchRate()
 				miss += run.TCMissCycles
 			}
@@ -167,14 +191,14 @@ func ExtTCSize(r *Runner) string {
 	b.WriteString("\n(effective fetch rate and trace-cache miss cycles averaged/summed over ")
 	b.WriteString(strings.Join(ExtTCSizeBenchmarks, ", "))
 	b.WriteString(")\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // Ext8Wide evaluates Section 4's near-term design point: an 8-wide trace
 // cache where branch promotion collapses prediction-bandwidth demand to
 // roughly one branch per fetch, letting an aggressive hybrid single-branch
 // predictor sequence the trace cache.
-func Ext8Wide(r *Runner) string {
+func Ext8Wide(r *Runner) (string, error) {
 	cfgs := []sim.Config{
 		config.EightWide(config.Baseline()),
 		config.EightWide(config.Promotion(config.PromotionThreshold)),
@@ -183,7 +207,10 @@ func Ext8Wide(r *Runner) string {
 	labels := []string{"8-wide baseline (tree MBP)", "8-wide promotion (tree MBP)", "8-wide promotion (hybrid 1-br)"}
 	rows := make([][]string, 0, len(cfgs))
 	for i, cfg := range cfgs {
-		runs := r.Sweep(cfg)
+		runs, err := r.SweepE(cfg)
+		if err != nil {
+			return "", err
+		}
 		var eff, mis, ipc float64
 		for _, run := range runs {
 			eff += run.EffFetchRate()
@@ -198,5 +225,5 @@ func Ext8Wide(r *Runner) string {
 			fmt.Sprintf("%.2f", ipc/n),
 		})
 	}
-	return textplot.Table([]string{"Configuration", "Eff fetch", "Cond mispredict", "IPC"}, rows)
+	return textplot.Table([]string{"Configuration", "Eff fetch", "Cond mispredict", "IPC"}, rows), nil
 }

@@ -74,7 +74,11 @@ func TestRunnerFastForwardParallelDeterminism(t *testing.T) {
 		r := NewRunner(5_000, 15_000)
 		r.FastForward = 30_000
 		r.Workers = workers
-		return r.Sweep(config.Baseline())
+		runs, err := r.SweepE(config.Baseline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
 	}
 	seq := sweep(1)
 	par := sweep(4)

@@ -170,7 +170,7 @@ func TestRunAllStopsAtFailure(t *testing.T) {
 		t.Fatal("missing fig9")
 	}
 	boom := Experiment{ID: "boom", Title: "always fails", Paper: "none",
-		Run: func(r *Runner) string { panic("kaboom") }}
+		Run: func(r *Runner) (string, error) { panic("kaboom") }}
 	for _, workers := range []int{1, 8} {
 		r := parallelBudgetRunner(workers)
 		var emitted []string

@@ -59,6 +59,11 @@ type Runner struct {
 	// selects GOMAXPROCS. It must be set before the first Run/Sweep call;
 	// later changes have no effect.
 	Workers int
+	// Check runs every simulation with the self-verification layer
+	// (sim.Config.Check) enabled. Checking changes no simulated
+	// statistic; a run that reports violations fails with an error
+	// carrying the violation report. Set before the first Run call.
+	Check bool
 
 	logMu sync.Mutex
 
@@ -128,28 +133,11 @@ func (r *Runner) ShortBenchmarks() []string {
 	return out
 }
 
-func (r *Runner) prog(bench string) *program.Program {
-	p, err := workload.SharedProgram(bench)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	return p
-}
-
 // RunE simulates the benchmark under the configuration, memoized by
 // configuration name. Concurrent calls with the same key share one
 // simulation.
 func (r *Runner) RunE(cfg sim.Config, bench string) (*stats.Run, error) {
 	return r.shared(cfg, bench, nil)
-}
-
-// Run is RunE, panicking on error.
-func (r *Runner) Run(cfg sim.Config, bench string) *stats.Run {
-	run, err := r.RunE(cfg, bench)
-	if err != nil {
-		panic(err)
-	}
-	return run
 }
 
 // RunConfiguredE is RunE with a per-benchmark configuration hook applied
@@ -158,15 +146,6 @@ func (r *Runner) Run(cfg sim.Config, bench string) *stats.Run {
 // the hook runs at most once per key.
 func (r *Runner) RunConfiguredE(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (*stats.Run, error) {
 	return r.shared(cfg, bench, prep)
-}
-
-// RunConfigured is RunConfiguredE, panicking on error.
-func (r *Runner) RunConfigured(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) *stats.Run {
-	run, err := r.RunConfiguredE(cfg, bench, prep)
-	if err != nil {
-		panic(err)
-	}
-	return run
 }
 
 // shared is the singleflight core: at most one goroutine simulates a key;
@@ -209,6 +188,7 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	cfg.WarmupInsts = r.Warmup
 	cfg.MaxInsts = r.Budget
 	cfg.FastForwardInsts = r.FastForward
+	cfg.Check = r.Check
 	s, err := sim.New(cfg, prog)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", key, err)
@@ -226,7 +206,11 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 		}
 	}
 	r.logf("running %s...\n", key)
-	return s.Run(), nil
+	run = s.Run()
+	if chk := s.Checker(); chk != nil && chk.Total() > 0 {
+		return nil, fmt.Errorf("experiments: %s: %s", key, chk.Report())
+	}
+	return run, nil
 }
 
 // SweepE runs the configuration over every benchmark, fanning the runs
@@ -263,24 +247,18 @@ func (r *Runner) SweepE(cfg sim.Config) ([]*stats.Run, error) {
 	return out, nil
 }
 
-// Sweep is SweepE, panicking on error.
-func (r *Runner) Sweep(cfg sim.Config) []*stats.Run {
+// AvgEffRateE returns the mean effective fetch rate of the configuration
+// across all benchmarks.
+func (r *Runner) AvgEffRateE(cfg sim.Config) (float64, error) {
 	runs, err := r.SweepE(cfg)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
-	return runs
-}
-
-// AvgEffRate returns the mean effective fetch rate of the configuration
-// across all benchmarks.
-func (r *Runner) AvgEffRate(cfg sim.Config) float64 {
-	runs := r.Sweep(cfg)
 	sum := 0.0
 	for _, run := range runs {
 		sum += run.EffFetchRate()
 	}
-	return sum / float64(len(runs))
+	return sum / float64(len(runs)), nil
 }
 
 // CachedKeys lists memoized runs (for tests). In-flight keys are included;
@@ -343,13 +321,19 @@ func RunAll(r *Runner, exps []Experiment, emit func(Experiment, string)) error {
 	return errors.Join(errs...)
 }
 
-// runExperiment renders one experiment, converting panics (the experiment
-// bodies use the panicking Run/Sweep shims) into errors.
+// runExperiment renders one experiment. Simulation failures propagate as
+// errors through the experiment bodies; the recover is a backstop for
+// programming errors inside a body, so a parallel tcbench fails that
+// experiment instead of the process.
 func runExperiment(r *Runner, e Experiment) (out string, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("experiment %s: %v", e.ID, p)
+			err = fmt.Errorf("experiment %s: panic: %v", e.ID, p)
 		}
 	}()
-	return e.Run(r), nil
+	out, err = e.Run(r)
+	if err != nil {
+		return "", fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	return out, nil
 }

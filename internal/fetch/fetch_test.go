@@ -59,15 +59,15 @@ func testProg(t *testing.T) *program.Program {
 
 func smallHier() *cache.Hierarchy {
 	return &cache.Hierarchy{
-		L1I: cache.MustNew(cache.Config{Name: "l1i", SizeBytes: 4096, LineBytes: 64, Assoc: 4}),
-		L1D: cache.MustNew(cache.Config{Name: "l1d", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 4}),
-		L2:  cache.MustNew(cache.Config{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}),
+		L1I: mustCache(cache.Config{Name: "l1i", SizeBytes: 4096, LineBytes: 64, Assoc: 4}),
+		L1D: mustCache(cache.Config{Name: "l1d", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 4}),
+		L2:  mustCache(cache.Config{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}),
 	}
 }
 
 func newTrace(t *testing.T) (*TraceEngine, *core.TraceCache, *bpred.TreeMBP) {
 	t.Helper()
-	tc := core.MustNewTraceCache(core.TraceCacheConfig{Entries: 64, Assoc: 4})
+	tc := mustTC(core.TraceCacheConfig{Entries: 64, Assoc: 4})
 	mbp := bpred.NewTreeMBP(1 << 14)
 	e := NewTraceEngine(TraceConfig{
 		Prog:     testProg(t),
@@ -344,7 +344,7 @@ func TestSplitLineFetchStopsAtMissingLine(t *testing.T) {
 	hier := smallHier()
 	e := NewTraceEngine(TraceConfig{
 		Prog:     p,
-		TC:       core.MustNewTraceCache(core.TraceCacheConfig{Entries: 64, Assoc: 4}),
+		TC:       mustTC(core.TraceCacheConfig{Entries: 64, Assoc: 4}),
 		MBP:      bpred.NewTreeMBP(1 << 14),
 		Indirect: bpred.NewIndirectPredictor(256),
 		Hier:     hier,
@@ -372,9 +372,9 @@ func TestSplitLineFetchStopsAtMissingLine(t *testing.T) {
 func TestICacheEngineReference(t *testing.T) {
 	p := testProg(t)
 	hier := &cache.Hierarchy{
-		L1I: cache.MustNew(cache.Config{Name: "bigicache", SizeBytes: 128 << 10, LineBytes: 64, Assoc: 4}),
-		L1D: cache.MustNew(cache.Config{Name: "l1d", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 4}),
-		L2:  cache.MustNew(cache.Config{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}),
+		L1I: mustCache(cache.Config{Name: "bigicache", SizeBytes: 128 << 10, LineBytes: 64, Assoc: 4}),
+		L1D: mustCache(cache.Config{Name: "l1d", SizeBytes: 1 << 16, LineBytes: 64, Assoc: 4}),
+		L2:  mustCache(cache.Config{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}),
 	}
 	e := NewICacheEngine(ICacheConfig{
 		Prog:     p,
@@ -405,7 +405,7 @@ func TestClampPC(t *testing.T) {
 }
 
 func TestTracePathAssocSelectsPredictedPath(t *testing.T) {
-	tc := core.MustNewTraceCache(core.TraceCacheConfig{Entries: 64, Assoc: 4, PathAssoc: true})
+	tc := mustTC(core.TraceCacheConfig{Entries: 64, Assoc: 4, PathAssoc: true})
 	mbp := bpred.NewTreeMBP(1 << 14)
 	e := NewTraceEngine(TraceConfig{
 		Prog:      testProg(t),
@@ -445,7 +445,7 @@ func TestTracePathAssocSelectsPredictedPath(t *testing.T) {
 }
 
 func TestTraceDisableInactiveIssueTruncates(t *testing.T) {
-	tc := core.MustNewTraceCache(core.TraceCacheConfig{Entries: 64, Assoc: 4})
+	tc := mustTC(core.TraceCacheConfig{Entries: 64, Assoc: 4})
 	e := NewTraceEngine(TraceConfig{
 		Prog:                 testProg(t),
 		TC:                   tc,
@@ -584,4 +584,22 @@ func TestWalkSegmentPromotedInactiveDoesNotPushHistory(t *testing.T) {
 	if e.Hist() != before<<1 {
 		t.Errorf("hist = %b, want single push of 0", e.Hist())
 	}
+}
+
+// mustCache builds a cache from a known-good test config.
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustTC builds a trace cache from a known-good test config.
+func mustTC(cfg core.TraceCacheConfig) *core.TraceCache {
+	tc, err := core.NewTraceCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tc
 }

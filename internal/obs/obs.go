@@ -56,6 +56,10 @@ const (
 	// KindWindowSample is a periodic counter sample of instruction window
 	// occupancy. V1 is the number of occupied window slots.
 	KindWindowSample
+	// KindCheckViolation is a self-check violation (internal/check). PC is
+	// the offending instruction or fetch address, V1 the check.Layer, V2
+	// the dynamic sequence number when applicable.
+	KindCheckViolation
 	// NumKinds bounds the kind space.
 	NumKinds
 )
@@ -63,7 +67,7 @@ const (
 var kindNames = [NumKinds]string{
 	"fetch-record", "tc-hit", "tc-miss", "icache-fetch",
 	"seg-finalize", "seg-pack", "promote", "demote", "promoted-fault",
-	"redirect", "window-sample",
+	"redirect", "window-sample", "check-violation",
 }
 
 // String names the kind.

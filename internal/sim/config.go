@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"tracecache/internal/cache"
 	"tracecache/internal/core"
 	"tracecache/internal/engine"
 )
@@ -79,6 +80,15 @@ type Config struct {
 	WarmupInsts      uint64
 	MaxInsts         uint64
 	MaxCycles        uint64
+
+	// Check enables the self-verification layer (internal/check): a
+	// functional reference model runs in lockstep with the detailed
+	// engine, structural invariants are asserted on every segment and
+	// fetch bundle, and conservation identities are verified at the end
+	// of the run. No simulated statistic changes; violations are reported
+	// via Simulator.CheckViolations. Excluded from Hash so a checked run
+	// is attributable to the same machine as its unchecked twin.
+	Check bool
 }
 
 // DefaultConfig returns the paper's baseline trace-cache machine
@@ -123,9 +133,22 @@ func ICacheConfig() Config {
 // produced them. Two configs hash equally iff every parameter matches
 // (up to the fidelity of the %+v rendering).
 func (c Config) Hash() string {
+	// Check verifies a run without changing it, so a checked config hashes
+	// identically to its unchecked twin (c is a copy; zeroing is local).
+	c.Check = false
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", c)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// cacheConfigs returns the memory-hierarchy geometries the configuration
+// implies; New builds them and Validate vets them.
+func (c Config) cacheConfigs() [3]cache.Config {
+	return [3]cache.Config{
+		{Name: "l1i", SizeBytes: c.ICacheBytes, LineBytes: c.LineBytes, Assoc: 4},
+		{Name: "l1d", SizeBytes: c.L1DBytes, LineBytes: c.LineBytes, Assoc: 4},
+		{Name: "l2", SizeBytes: c.L2Bytes, LineBytes: c.LineBytes, Assoc: 8},
+	}
 }
 
 // Validate reports configuration errors.
@@ -143,6 +166,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxInsts == 0 {
 		return fmt.Errorf("sim %q: zero instruction budget", c.Name)
+	}
+	for _, cc := range c.cacheConfigs() {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("sim %q: %w", c.Name, err)
+		}
 	}
 	return nil
 }

@@ -42,6 +42,12 @@ func (s *Simulator) ApplyCheckpoint(cp *checkpoint.Checkpoint) error {
 	if err := cp.Restore(s.state); err != nil {
 		return err
 	}
+	if s.chk != nil {
+		// The lockstep reference model resumes from the same checkpoint.
+		if err := s.chk.Restore(cp.Restore, cp.PC); err != nil {
+			return err
+		}
+	}
 	s.fetchPC = cp.PC
 	s.ffwdDone = cp.Insts
 	s.fromCheckpoint = true

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"tracecache/internal/workload"
+)
+
+// TestRecordRingGrowsInsteadOfPanicking is the regression test for the
+// fetch-record ring overflow: a ring too small for the in-flight fetch
+// population used to panic in fetch; it now doubles until the colliding
+// slot is free. The ring size is bookkeeping only, so the grown run must
+// match a normally-sized run bit for bit.
+func TestRecordRingGrowsInsteadOfPanicking(t *testing.T) {
+	p, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	prog := p.MustGenerate()
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 20_000
+
+	ref := mustSim(t, cfg, prog).Run()
+
+	s := mustSim(t, cfg, prog)
+	// Shrink the ring to two slots so live records collide almost
+	// immediately.
+	s.records = make([]fetchRec, 2)
+	s.recMask = 1
+	run := s.Run()
+	if len(s.records) <= 2 {
+		t.Error("ring never grew under pressure")
+	}
+	a, b := *run, *ref
+	a.Meta, b.Meta = nil, nil
+	if a != b {
+		t.Errorf("grown-ring run differs from reference:\n got %+v\nwant %+v", a, b)
+	}
+}
+
+// TestRecordRingGrowKeepsLiveRecords checks growRecords re-homes every
+// live record at its identity: the record fetched before the growth is
+// still reachable through rec() after it.
+func TestRecordRingGrowKeepsLiveRecords(t *testing.T) {
+	p, _ := workload.ByName("compress")
+	prog := p.MustGenerate()
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 5_000
+	s := mustSim(t, cfg, prog)
+	s.records = make([]fetchRec, 4)
+	s.recMask = 3
+	s.Run()
+	seen := map[int]bool{}
+	for i := range s.records {
+		r := &s.records[i]
+		if !r.live {
+			continue
+		}
+		if r.id&s.recMask != i {
+			t.Errorf("record %d homed at slot %d", r.id, i)
+		}
+		if seen[r.id] {
+			t.Errorf("record %d stored twice", r.id)
+		}
+		seen[r.id] = true
+	}
+}

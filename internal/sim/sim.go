@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"time"
 
 	"tracecache/internal/bpred"
 	"tracecache/internal/cache"
+	"tracecache/internal/check"
 	"tracecache/internal/core"
 	"tracecache/internal/engine"
 	"tracecache/internal/exec"
@@ -32,6 +34,12 @@ type dyn struct {
 	halted   bool
 	snapshot exec.Snapshot // state just after this instruction executed
 
+	// Self-check payloads (stored only while a checker is attached): the
+	// memory value and destination-register value this instruction
+	// produced, compared against the reference model at commit.
+	memVal  int64
+	destVal int64
+
 	// Rename bookkeeping.
 	destReg      isa.Reg
 	hasDest      bool
@@ -52,6 +60,7 @@ type dyn struct {
 // fetchRec tracks one fetch-delivery cycle until all of its instructions
 // retire or are squashed, then classifies it (Figures 4, 6 and 12).
 type fetchRec struct {
+	id         int // ring identity (fetchID); lets growRecords re-home slots
 	cycle      uint64
 	pc         int
 	reason     stats.FetchEnd
@@ -142,6 +151,10 @@ type Simulator struct {
 	coll   *obs.Collector
 	occSum uint64 // per-cycle window occupancy sum (collector enabled only)
 
+	// chk is the self-verification layer (Config.Check); nil by default,
+	// so the unchecked path costs one nil comparison per site.
+	chk *check.Checker
+
 	// Fast-forward bookkeeping: committed instructions executed
 	// functionally before the cycle loop (stepped by fastForward or
 	// restored via ApplyCheckpoint).
@@ -162,11 +175,20 @@ func New(cfg Config, prog *program.Program) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg, prog: prog, state: exec.NewState(prog), pendingBrIdx: -1}
-	s.hier = &cache.Hierarchy{
-		L1I: cache.MustNew(cache.Config{Name: "l1i", SizeBytes: cfg.ICacheBytes, LineBytes: cfg.LineBytes, Assoc: 4}),
-		L1D: cache.MustNew(cache.Config{Name: "l1d", SizeBytes: cfg.L1DBytes, LineBytes: cfg.LineBytes, Assoc: 4}),
-		L2:  cache.MustNew(cache.Config{Name: "l2", SizeBytes: cfg.L2Bytes, LineBytes: cfg.LineBytes, Assoc: 8}),
+	ccs := cfg.cacheConfigs()
+	l1i, err := cache.New(ccs[0])
+	if err != nil {
+		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
 	}
+	l1d, err := cache.New(ccs[1])
+	if err != nil {
+		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
+	}
+	l2, err := cache.New(ccs[2])
+	if err != nil {
+		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
+	}
+	s.hier = &cache.Hierarchy{L1I: l1i, L1D: l1d, L2: l2}
 	s.eng = engine.New(cfg.Engine, s.hier)
 	s.ind = bpred.NewIndirectPredictor(cfg.IndirectEntries)
 	switch cfg.Front {
@@ -220,7 +242,85 @@ func New(cfg Config, prog *program.Program) (*Simulator, error) {
 	s.records = make([]fetchRec, recs)
 	s.recMask = recs - 1
 	s.pendingBuf = make([]fetch.FetchedInst, 0, cfg.FetchWidth)
+	if cfg.Check {
+		s.attachChecker()
+	}
 	return s, nil
+}
+
+// attachChecker builds the self-verification layer and hooks it into the
+// fill unit (the simulator's own hooks are nil-guarded call sites).
+func (s *Simulator) attachChecker() {
+	p := check.Params{
+		Prog:       s.prog,
+		HasTC:      s.tc != nil,
+		FetchWidth: s.cfg.FetchWidth,
+		MaxSlots:   1,
+		ConfigHash: s.cfg.Hash(),
+	}
+	if s.fill != nil {
+		p.Fill = s.fill.Config()
+	}
+	if s.mbp != nil {
+		p.MaxSlots = s.mbp.MaxSlots()
+	}
+	s.chk = check.New(p)
+	if s.fill != nil {
+		prevSeg := s.fill.OnSegment
+		s.fill.OnSegment = func(seg *core.Segment) {
+			s.chk.OnSegment(seg)
+			if prevSeg != nil {
+				prevSeg(seg)
+			}
+		}
+		prevPack := s.fill.OnPack
+		s.fill.OnPack = func(pending []core.SegInst, space, take, blockLen int) {
+			s.chk.OnPack(pending, space, take, blockLen)
+			if prevPack != nil {
+				prevPack(pending, space, take, blockLen)
+			}
+		}
+	}
+}
+
+// Checker returns the self-verification layer (nil unless Config.Check).
+func (s *Simulator) Checker() *check.Checker { return s.chk }
+
+// CheckViolations returns the violations the self-check layer recorded,
+// or nil when checking is disabled or the run was clean.
+func (s *Simulator) CheckViolations() []check.Violation {
+	if s.chk == nil {
+		return nil
+	}
+	return s.chk.Violations()
+}
+
+// liveRecordCount counts fetch records that are still live and
+// unclassified; the conservation identities allow each to own one cycle.
+func (s *Simulator) liveRecordCount() int {
+	n := 0
+	for i := range s.records {
+		if s.records[i].live && !s.records[i].finalized {
+			n++
+		}
+	}
+	return n
+}
+
+// growRecords doubles the fetch-record ring, re-homing every used record
+// at its identity under the new mask. Two stored records cannot collide:
+// each old slot holds one record and the doubling splits each residue
+// class in two.
+func (s *Simulator) growRecords() {
+	old := s.records
+	n := len(old) * 2
+	s.records = make([]fetchRec, n)
+	s.recMask = n - 1
+	for i := range old {
+		if old[i].live {
+			s.records[old[i].id&s.recMask] = old[i]
+		}
+	}
 }
 
 // rec returns the fetch record with the given ID, which must still be live
@@ -254,6 +354,9 @@ func (s *Simulator) AttachObserver(b *obs.Bus) {
 	s.fe.SetObserver(b)
 	if s.fill != nil {
 		s.fill.SetObserver(b)
+	}
+	if s.chk != nil {
+		s.chk.SetObserver(b)
 	}
 }
 
@@ -289,7 +392,13 @@ func (s *Simulator) probe() obs.Probe {
 func (s *Simulator) Run() *stats.Run {
 	start := time.Now()
 	if ff := s.cfg.FastForwardInsts; ff > s.ffwdDone {
-		s.fastForward(ff - s.ffwdDone)
+		delta := ff - s.ffwdDone
+		s.fastForward(delta)
+		if s.chk != nil {
+			// The reference model fast-forwards the same distance and must
+			// land on the PC the detailed machine will fetch from.
+			s.chk.FastForward(delta, s.fetchPC)
+		}
 	}
 	warm := s.cfg.WarmupInsts
 	warming := warm > 0
@@ -330,6 +439,19 @@ func (s *Simulator) Run() *stats.Run {
 	if s.coll != nil {
 		s.coll.Finish(s.probe(), s.run.Meta)
 	}
+	if s.chk != nil {
+		f := check.Final{
+			Run:         &s.run,
+			LiveRecords: s.liveRecordCount(),
+			EngineErr:   s.eng.CheckInvariants(),
+		}
+		if s.tc != nil {
+			f.TCStats = s.tc.Stats()
+			f.LivePromoted = s.tc.LivePromoted()
+			f.ResidentPromoted = s.tc.ResidentPromoted()
+		}
+		s.chk.Finalize(f)
+	}
 	// Return a copy: stats.Run is a pure value type, and handing out a
 	// pointer into the Simulator would pin the whole machine (window,
 	// records, caches) for as long as the caller keeps the result.
@@ -359,6 +481,9 @@ func (s *Simulator) buildMeta(start time.Time, wall time.Duration) *stats.Meta {
 func (s *Simulator) resetStats() {
 	s.run = stats.Run{Benchmark: s.run.Benchmark, Config: s.run.Config}
 	s.cycleBase = s.cycle
+	if s.chk != nil {
+		s.chk.MarkMeasureStart(s.liveRecordCount())
+	}
 }
 
 // Stats returns the statistics collected so far.
@@ -409,6 +534,14 @@ func (s *Simulator) retireInst(d *dyn) {
 	s.run.Retired++
 	if s.OnRetire != nil {
 		s.OnRetire(d.fi.PC)
+	}
+	if s.chk != nil {
+		s.chk.Commit(check.Commit{
+			Cycle: s.cycle, Seq: d.seq, PC: d.fi.PC,
+			Taken: d.taken, NextPC: d.nextPC, Halted: d.halted,
+			MemAddr: d.memAddr, MemVal: d.memVal,
+			HasDest: d.hasDest, DestReg: d.destReg, DestVal: d.destVal,
+		})
 	}
 	if s.fill != nil {
 		if d.alignFill {
@@ -528,10 +661,14 @@ func (s *Simulator) recoverBranch(d *dyn) {
 	}
 	suffix := d.inactiveSuffix
 	s.recover(d, stats.CycleBranchMiss, d.nextPC)
-	if len(suffix) > 0 {
-		// Inactive issue: the segment's embedded path was the correct
-		// one. The inactive instructions are already in the machine;
-		// inject them and resume fetch after the segment.
+	if len(suffix) > 0 && d.fi.UsedSlot {
+		// Inactive issue: the suffix follows the segment's embedded path.
+		// It is correct-path only when the diverging branch carried a real
+		// prediction (UsedSlot) that disagreed with the embedded outcome —
+		// a mispredict then means the embedded path was right. A branch
+		// past the predictor's bandwidth instead used the embedded outcome
+		// as its prediction, so its mispredict means the embedded path
+		// (and the suffix) is wrong: plain recovery, no injection.
 		s.injectQueue = append(s.injectQueue[:0], suffix...)
 		s.injectRec = d.fetchID
 		s.fetchPC = s.applyAndResume(suffix)
@@ -589,6 +726,11 @@ func (s *Simulator) recover(d *dyn, cause stats.CycleClass, target int) {
 		// record contributes to no counter, as before).
 		if rec := s.rec(s.injectRec); !rec.finalized && rec.pending == 0 && rec.dispatched > 0 {
 			rec.finalized = true
+			if s.chk != nil {
+				// Released without classifying a cycle; the cycle-sum
+				// conservation identity widens by one.
+				s.chk.OnRecordDropped()
+			}
 		}
 	}
 	if s.serialInFl && s.serialSeq >= from {
@@ -718,6 +860,15 @@ func (s *Simulator) dispatchInst(fi fetch.FetchedInst, recID int) {
 		d.hasDest, d.destReg = true, rd
 		d.prevProducer = s.renameMap[rd]
 		s.renameMap[rd] = seq
+		if s.chk != nil {
+			// Execute-at-dispatch: the register already holds this
+			// instruction's result. A correct-path instruction dispatches
+			// against correct-path state, so the value is the committed one.
+			d.destVal = s.state.Regs[rd]
+		}
+	}
+	if s.chk != nil {
+		d.memVal = info.Value
 	}
 	if fi.Inst.IsTrap() || fi.Inst.Op == isa.OpHalt {
 		s.serialHold = true
@@ -761,13 +912,21 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 		return
 	}
 	b := s.fe.Fetch(s.fetchPC)
+	if s.chk != nil {
+		s.chk.OnBundle(b)
+	}
 	recID := s.nextRecID
 	s.nextRecID++
 	rec := s.rec(recID)
-	if rec.live && !rec.finalized {
-		panic("sim: fetch record ring overflow (live record evicted)")
+	// The ring is sized so live records never collide, but rather than
+	// trusting that bound, grow it when a live unclassified record would
+	// be evicted (each doubling splits the colliding residue class).
+	for rec.live && !rec.finalized {
+		s.growRecords()
+		rec = s.rec(recID)
 	}
 	*rec = fetchRec{
+		id:        recID,
 		cycle:     s.cycle + uint64(b.Latency),
 		pc:        s.fetchPC,
 		reason:    b.Reason,

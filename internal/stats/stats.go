@@ -256,6 +256,17 @@ func (r *Run) LostToMispredicts() uint64 {
 	return r.Cycle[CycleBranchMiss] + r.Cycle[CycleMisfetch]
 }
 
+// CycleSum returns the sum of the fetch-cycle classification buckets. The
+// self-check layer verifies it stays within a bounded drift of Cycles
+// (the Figure 12 conservation identity).
+func (r *Run) CycleSum() uint64 {
+	var sum uint64
+	for _, v := range r.Cycle {
+		sum += v
+	}
+	return sum
+}
+
 // PredsFracs returns the fraction of fetches needing 0-1, 2, and 3
 // dynamic predictions (Table 3).
 func (r *Run) PredsFracs() (zeroOrOne, two, three float64) {

@@ -31,6 +31,7 @@ pick() {
 INSTS_S="$(pick SimulatorThroughput 'insts/s')"
 BYTES_OP="$(pick SimulatorThroughput 'B/op')"
 ALLOCS_OP="$(pick SimulatorThroughput 'allocs/op')"
+CHK_INSTS_S="$(pick SimulatorThroughputChecked 'insts/s')"
 SEQ_NS="$(pick SuiteSequential 'ns/op')"
 PAR_NS="$(pick SuiteParallel 'ns/op')"
 DET_NS="$(pick WarmupSweepDetailed 'ns/op')"
@@ -40,12 +41,14 @@ EFF_DELTA="$(pick FastForwardAccuracy 'effrate-delta-%')"
 MISP_DELTA="$(pick FastForwardAccuracy 'mispredict-delta-pp')"
 
 if [ -z "$INSTS_S" ] || [ -z "$SEQ_NS" ] || [ -z "$PAR_NS" ] ||
-	[ -z "$DET_NS" ] || [ -z "$CKPT_NS" ] || [ -z "$IPC_DELTA" ]; then
+	[ -z "$DET_NS" ] || [ -z "$CKPT_NS" ] || [ -z "$IPC_DELTA" ] ||
+	[ -z "$CHK_INSTS_S" ]; then
 	echo "bench.sh: failed to parse benchmark output" >&2
 	exit 1
 fi
 
 SPEEDUP="$(awk -v s="$SEQ_NS" -v p="$PAR_NS" 'BEGIN { printf "%.2f", s / p }')"
+CHK_SLOWDOWN="$(awk -v p="$INSTS_S" -v c="$CHK_INSTS_S" 'BEGIN { printf "%.2f", p / c }')"
 FF_SPEEDUP="$(awk -v d="$DET_NS" -v c="$CKPT_NS" 'BEGIN { printf "%.2f", d / c }')"
 GOVER="$(go env GOVERSION)"
 CPUS="$(getconf _NPROCESSORS_ONLN)"
@@ -61,6 +64,12 @@ cat > BENCH_perf.json <<EOF
     "insts_per_sec": $INSTS_S,
     "bytes_per_op": $BYTES_OP,
     "allocs_per_op": $ALLOCS_OP
+  },
+  "self_check": {
+    "benchmark": "BenchmarkSimulatorThroughputChecked",
+    "note": "gcc/baseline with the -check self-verification layer on (lockstep reference model + structural invariants + conservation identities); committed numbers are produced with -check off",
+    "insts_per_sec_checked": $CHK_INSTS_S,
+    "slowdown_x": $CHK_SLOWDOWN
   },
   "suite": {
     "benchmark": "BenchmarkSuiteSequential / BenchmarkSuiteParallel",

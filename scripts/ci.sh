@@ -29,6 +29,15 @@ echo "== fast-forward accuracy assert =="
 go test -run 'TestFastForwardAccuracy|TestFastForwardDeterminism|TestApplyCheckpoint' \
 	./internal/sim/
 
+echo "== self-check smoke (lockstep + invariants on both headline configs) =="
+go run ./cmd/tcsim -check -bench gcc -config baseline \
+	-warmup 40000 -insts 80000 -json >/dev/null
+go run ./cmd/tcsim -check -bench gcc -config promo-pack-costreg \
+	-warmup 40000 -insts 80000 -json >/dev/null
+
+echo "== differential fuzz seeds (replay only, no fuzzing) =="
+go test -run 'FuzzDifferential' ./internal/check/
+
 echo "== benchmark smoke =="
 go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .
 
