@@ -11,6 +11,13 @@
 //	tcbench -list
 //	tcbench -warmup 400000 -insts 1000000 -progress
 //	tcbench -exp fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	tcbench -http 127.0.0.1:8080        # live /metrics /progress /debug/pprof
+//	tcbench -journal runs.jsonl         # persist one record per simulation
+//	tcbench -journal-report runs.jsonl  # summarize a journal, no simulation
+//	tcbench -journal-report old.jsonl,new.jsonl   # diff two journals
+//
+// Monitoring and journaling are opt-in, write only to stderr, files and
+// HTTP, and never change the experiment output on stdout.
 package main
 
 import (
@@ -22,6 +29,11 @@ import (
 
 	"tracecache"
 	"tracecache/internal/buildinfo"
+	"tracecache/internal/experiments"
+	"tracecache/internal/journal"
+	"tracecache/internal/metrics"
+	"tracecache/internal/monitor"
+	"tracecache/internal/obs"
 	"tracecache/internal/profiler"
 )
 
@@ -38,11 +50,21 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		check    = flag.Bool("check", false, "run every simulation with the self-verification layer; violations fail the experiment")
+		httpAddr = flag.String("http", "", "serve live monitoring on this address (/metrics, /progress, /debug/pprof), e.g. 127.0.0.1:8080")
+		jPath    = flag.String("journal", "", "append one JSONL record per simulation to this file")
+		jReport  = flag.String("journal-report", "", "summarize a journal file and exit (two comma-separated files: diff them)")
 	)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.String("tcbench"))
+		return
+	}
+	if *jReport != "" {
+		if err := journalReport(*jReport); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *list {
@@ -87,6 +109,50 @@ func main() {
 	if *progress {
 		r.Log = os.Stderr
 	}
+
+	// Monitoring and journaling ride on the runner's instrumentation
+	// hooks; with both flags absent every hook stays nil.
+	var (
+		prog   *monitor.Progress
+		monSrv *monitor.Server
+		jw     *journal.Writer
+	)
+	if *httpAddr != "" || *jPath != "" {
+		reg := metrics.NewRegistry()
+		m := experiments.InstrumentRunner(reg)
+		r.Metrics = m
+		var listeners []func(experiments.RunEvent)
+		if *jPath != "" {
+			var err error
+			jw, err = journal.OpenFile(*jPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+				os.Exit(1)
+			}
+			listeners = append(listeners, journal.RunnerListener(jw, func(err error) {
+				fmt.Fprintf(os.Stderr, "tcbench: journal: %v\n", err)
+			}))
+		}
+		if *httpAddr != "" {
+			prog = monitor.NewProgress(r.Workers, m.Sim.Insts.Value)
+			listeners = append(listeners, prog.Listener())
+			sink := metrics.NewBusSink(reg)
+			r.NewObserver = func() *obs.Bus {
+				b := obs.NewBus(0)
+				b.Attach(sink)
+				return b
+			}
+			monSrv = &monitor.Server{Registry: reg, Progress: prog}
+			addr, err := monSrv.Start(*httpAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "tcbench: monitoring on http://%s (/metrics /progress /debug/pprof)\n", addr)
+		}
+		r.OnRun = experiments.MultiListener(listeners...)
+	}
+
 	runErr := tracecache.RunExperiments(r, selected, func(e tracecache.Experiment, out string) {
 		fmt.Printf("==================================================================\n")
 		fmt.Printf("%s: %s\n", e.ID, e.Title)
@@ -94,6 +160,17 @@ func main() {
 		fmt.Printf("------------------------------------------------------------------\n")
 		fmt.Println(out)
 	})
+	if prog != nil {
+		prog.Finish()
+	}
+	if monSrv != nil {
+		_ = monSrv.Close()
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: journal: %v\n", err)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
 		os.Exit(1)
@@ -101,5 +178,39 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "tcbench: %v\n", runErr)
 		os.Exit(1)
+	}
+}
+
+// journalReport renders a journal summary (one path) or a journal diff
+// (two comma-separated paths) to stdout without running any simulation.
+func journalReport(spec string) error {
+	paths := strings.Split(spec, ",")
+	for i := range paths {
+		paths[i] = strings.TrimSpace(paths[i])
+	}
+	switch len(paths) {
+	case 1:
+		recs, truncated, err := journal.ReadFile(paths[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(journal.Report(recs, truncated))
+		return nil
+	case 2:
+		a, truncA, err := journal.ReadFile(paths[0])
+		if err != nil {
+			return err
+		}
+		b, truncB, err := journal.ReadFile(paths[1])
+		if err != nil {
+			return err
+		}
+		if truncA || truncB {
+			fmt.Fprintln(os.Stderr, "tcbench: warning: journal tail truncated (unterminated final line skipped)")
+		}
+		fmt.Print(journal.Diff(a, b))
+		return nil
+	default:
+		return fmt.Errorf("-journal-report takes one file, or two comma-separated files to diff")
 	}
 }

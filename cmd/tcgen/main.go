@@ -15,6 +15,8 @@ import (
 	"tracecache"
 	"tracecache/internal/buildinfo"
 	"tracecache/internal/isa"
+	"tracecache/internal/metrics"
+	"tracecache/internal/monitor"
 	"tracecache/internal/textplot"
 	"tracecache/internal/workload"
 )
@@ -26,14 +28,25 @@ func main() {
 		doStat  = flag.Bool("stats", true, "print static and dynamic statistics")
 		limit   = flag.Uint64("limit", 500_000, "dynamic-analysis instruction budget")
 		list    = flag.Bool("list", false, "list benchmarks")
-		save    = flag.String("save", "", "write the program image to this file")
-		version = flag.Bool("version", false, "print version and exit")
+		save     = flag.String("save", "", "write the program image to this file")
+		version  = flag.Bool("version", false, "print version and exit")
+		httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while generating/analyzing")
 	)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.String("tcgen"))
 		return
+	}
+	if *httpAddr != "" {
+		srv := &monitor.Server{Registry: metrics.NewRegistry()}
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tcgen: monitoring on http://%s (/metrics /debug/pprof)\n", addr)
 	}
 	if *list {
 		for _, name := range tracecache.Benchmarks() {

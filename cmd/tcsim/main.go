@@ -7,6 +7,7 @@
 //	tcsim -bench gcc -config baseline -warmup 400000 -insts 1000000
 //	tcsim -bench gcc -config best -ffwd 10000000 -warmup 400000 -insts 1000000
 //	tcsim -bench gcc -config promote -interval 10000 -timeseries ts.json -trace tr.json
+//	tcsim -bench gcc -http 127.0.0.1:8080 -journal runs.jsonl
 //	tcsim -list
 package main
 
@@ -15,12 +16,17 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tracecache"
 	"tracecache/internal/buildinfo"
+	"tracecache/internal/journal"
+	"tracecache/internal/metrics"
+	"tracecache/internal/monitor"
 	"tracecache/internal/obs"
 	"tracecache/internal/profiler"
 	"tracecache/internal/program"
+	"tracecache/internal/sim"
 	"tracecache/internal/stats"
 	"tracecache/internal/textplot"
 )
@@ -42,6 +48,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		check    = flag.Bool("check", false, "run with the self-verification layer (lockstep reference model + invariants); violations exit non-zero")
+		httpAddr = flag.String("http", "", "serve live monitoring on this address (/metrics, /progress, /debug/pprof), e.g. 127.0.0.1:8080")
+		jPath    = flag.String("journal", "", "append one JSONL record for this run to this file")
 	)
 	flag.Parse()
 
@@ -88,12 +96,42 @@ func main() {
 		coll = obs.NewCollector(*interval)
 		s.SetIntervalCollector(coll)
 	}
+	// All event sinks — the Chrome trace and the monitoring bridge —
+	// share one lazily created bus.
+	var bus *obs.Bus
+	ensureBus := func() *obs.Bus {
+		if bus == nil {
+			bus = obs.NewBus(0)
+			s.AttachObserver(bus)
+		}
+		return bus
+	}
 	var chrome *obs.ChromeTrace
 	if *trOut != "" {
 		chrome = obs.NewChromeTrace(0)
-		bus := obs.NewBus(0)
-		bus.Attach(chrome)
-		s.AttachObserver(bus)
+		ensureBus().Attach(chrome)
+	}
+
+	pointKey := *cfgStr + "/" + *bench
+	if *progFile != "" {
+		pointKey = *cfgStr + "/" + *progFile
+	}
+	var live *monitor.Progress
+	var monSrv *monitor.Server
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		simMet := sim.NewMetrics(reg)
+		s.AttachMetrics(simMet)
+		ensureBus().Attach(metrics.NewBusSink(reg))
+		live = monitor.NewProgress(1, simMet.Insts.Value)
+		live.PointQueued(pointKey)
+		monSrv = &monitor.Server{Registry: reg, Progress: live}
+		addr, err := monSrv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tcsim: monitoring on http://%s (/metrics /progress /debug/pprof)\n", addr)
 	}
 
 	stopProf, err := profiler.Start(*cpuProf, *memProf)
@@ -101,7 +139,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
 		os.Exit(1)
 	}
+	if live != nil {
+		live.PointStarted(pointKey)
+	}
+	started := time.Now()
 	run := s.Run()
+	if live != nil {
+		live.PointDone(pointKey, nil, time.Since(started))
+		live.Finish()
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
 		os.Exit(1)
@@ -112,6 +158,13 @@ func main() {
 			if p, ok := tracecache.BenchmarkProfile(*bench); ok {
 				run.Meta.Seed = p.Seed
 			}
+		}
+	}
+
+	if *jPath != "" {
+		if err := appendJournal(*jPath, run, time.Since(started)); err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
@@ -146,6 +199,25 @@ func main() {
 		return
 	}
 	report(s, run)
+}
+
+// appendJournal appends this run's record to the journal file.
+func appendJournal(path string, run *tracecache.Run, wall time.Duration) error {
+	w, err := journal.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	rec := journal.FromRun(run)
+	rec.Time = time.Now().UTC().Format(time.RFC3339)
+	if run.Meta != nil {
+		rec.Provenance = run.Meta.Provenance
+	}
+	rec.WallMillis = float64(wall) / float64(time.Millisecond)
+	if err := w.Append(rec); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 // writeSeries writes the time series as JSON, or CSV when the file name

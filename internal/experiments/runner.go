@@ -29,7 +29,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
@@ -64,6 +66,23 @@ type Runner struct {
 	// statistic; a run that reports violations fails with an error
 	// carrying the violation report. Set before the first Run call.
 	Check bool
+	// Metrics, when non-nil, receives fleet-level counters for every run
+	// request (see RunnerMetrics); r.Metrics.Sim is attached to every
+	// simulator the runner builds. Instrumentation changes no simulated
+	// statistic and no Runner output. Set before the first Run call.
+	Metrics *RunnerMetrics
+	// OnRun, when non-nil, receives run-lifecycle events (see RunEvent).
+	// It is called from the goroutines executing or awaiting runs, so it
+	// may be called concurrently; listeners serialize internally (see
+	// MultiListener, journal.RunnerListener, monitor.Progress.Listener).
+	// Set before the first Run call.
+	OnRun func(RunEvent)
+	// NewObserver, when non-nil, builds one obs.Bus per simulation, which
+	// the runner attaches before Run. A bus is not safe for concurrent
+	// use, so the factory must return a fresh bus per call; sinks shared
+	// across buses must be concurrency-safe (metrics.BusSink is). Set
+	// before the first Run call.
+	NewObserver func() *obs.Bus
 
 	logMu sync.Mutex
 
@@ -103,11 +122,21 @@ func (r *Runner) acquire() func() {
 	r.mu.Lock()
 	if r.sem == nil {
 		r.sem = make(chan struct{}, r.workers())
+		if m := r.Metrics; m != nil {
+			m.WorkersLimit.Set(int64(r.workers()))
+		}
 	}
 	sem := r.sem
 	r.mu.Unlock()
 	sem <- struct{}{}
 	return func() { <-sem }
+}
+
+// emit delivers a run-lifecycle event to the OnRun listener, if any.
+func (r *Runner) emit(ev RunEvent) {
+	if r.OnRun != nil {
+		r.OnRun(ev)
+	}
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -149,39 +178,106 @@ func (r *Runner) RunConfiguredE(cfg sim.Config, bench string, prep func(*sim.Con
 }
 
 // shared is the singleflight core: at most one goroutine simulates a key;
-// the rest wait for its entry and share the result.
+// the rest wait for its entry and share the result. The executing request
+// emits RunQueued/RunStarted/RunDone with the simulation's provenance;
+// every sharing request emits one memoized RunDone after the result is
+// final, carrying the identical *stats.Run.
 func (r *Runner) shared(cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (*stats.Run, error) {
 	key := cfg.Name + "/" + bench
 	r.mu.Lock()
 	if e, ok := r.runs[key]; ok {
 		r.mu.Unlock()
+		if m := r.Metrics; m != nil {
+			m.MemoHits.Inc()
+		}
 		<-e.done
+		r.emit(RunEvent{
+			Phase: RunDone, Key: key, Config: cfg.Name, Benchmark: bench,
+			Run: e.run, Err: e.err,
+			Memoized: true, Provenance: stats.ProvMemoized,
+		})
 		return e.run, e.err
 	}
 	e := &runEntry{done: make(chan struct{})}
 	r.runs[key] = e
 	r.mu.Unlock()
 
-	e.run, e.err = r.simulate(key, cfg, bench, prep)
+	if m := r.Metrics; m != nil {
+		m.MemoMisses.Inc()
+	}
+	r.emit(RunEvent{Phase: RunQueued, Key: key, Config: cfg.Name, Benchmark: bench})
+	res := r.simulate(key, cfg, bench, prep)
+	e.run, e.err = res.run, res.err
+	if m := r.Metrics; m != nil {
+		if res.err != nil {
+			m.RunsFailed.Inc()
+		} else {
+			m.RunsCompleted.Inc()
+			switch res.provenance {
+			case stats.ProvCheckpointFork:
+				m.CheckpointForks.Inc()
+			default:
+				m.ColdStarts.Inc()
+			}
+		}
+	}
+	r.emit(RunEvent{
+		Phase: RunDone, Key: key, Config: cfg.Name, Benchmark: bench,
+		Run: res.run, Err: res.err,
+		Provenance: res.provenance,
+		QueueWait:  res.queueWait, Wall: res.wall,
+	})
 	close(e.done)
 	return e.run, e.err
+}
+
+// simResult carries one simulation's outcome plus the request-level
+// provenance and timing that counters, events, and journal records need.
+type simResult struct {
+	run        *stats.Run
+	err        error
+	provenance string
+	queueWait  time.Duration
+	wall       time.Duration
 }
 
 // simulate executes one simulation under a worker slot, converting panics
 // from configuration or simulator internals into errors so a bad config in
 // a parallel sweep fails that sweep instead of the process.
-func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (run *stats.Run, err error) {
+func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (res simResult) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("experiments: %s: panic: %v", key, p)
+			res = simResult{err: fmt.Errorf("experiments: %s: panic: %v", key, p),
+				queueWait: res.queueWait, wall: res.wall}
 		}
 	}()
+	fail := func(err error) simResult {
+		return simResult{err: fmt.Errorf("experiments: %s: %w", key, err),
+			queueWait: res.queueWait, wall: res.wall}
+	}
 	prog, err := workload.SharedProgram(bench)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+		return fail(err)
 	}
+	queuedAt := time.Now()
 	release := r.acquire()
 	defer release()
+	res.queueWait = time.Since(queuedAt)
+	if m := r.Metrics; m != nil {
+		m.RunsStarted.Inc()
+		m.WorkersBusy.Add(1)
+		m.QueueWait.Observe(res.queueWait.Seconds())
+	}
+	r.emit(RunEvent{Phase: RunStarted, Key: key, Config: cfg.Name, Benchmark: bench,
+		QueueWait: res.queueWait})
+	startedAt := time.Now()
+	defer func() {
+		res.wall = time.Since(startedAt)
+		if m := r.Metrics; m != nil {
+			m.WorkersBusy.Add(-1)
+			m.RunWall.Observe(res.wall.Seconds())
+		}
+	}()
 	if prep != nil {
 		prep(&cfg, prog)
 	}
@@ -191,26 +287,37 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	cfg.Check = r.Check
 	s, err := sim.New(cfg, prog)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+		return fail(err)
 	}
+	if m := r.Metrics; m != nil {
+		s.AttachMetrics(m.Sim)
+	}
+	if r.NewObserver != nil {
+		if bus := r.NewObserver(); bus != nil {
+			s.AttachObserver(bus)
+		}
+	}
+	res.provenance = stats.ProvCold
 	if r.FastForward > 0 {
 		// The capture itself is memoized process-wide; the first arrival
 		// captures (under its worker slot), later arrivals block on the
 		// OnceValues and then restore, which is a cheap copy.
 		cp, err := workload.SharedCheckpoint(bench, r.FastForward)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", key, err)
+			return fail(err)
 		}
 		if err := s.ApplyCheckpoint(cp); err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", key, err)
+			return fail(err)
 		}
+		res.provenance = stats.ProvCheckpointFork
 	}
 	r.logf("running %s...\n", key)
-	run = s.Run()
+	res.run = s.Run()
 	if chk := s.Checker(); chk != nil && chk.Total() > 0 {
-		return nil, fmt.Errorf("experiments: %s: %s", key, chk.Report())
+		res.run = nil
+		return fail(fmt.Errorf("%s", chk.Report()))
 	}
-	return run, nil
+	return res
 }
 
 // SweepE runs the configuration over every benchmark, fanning the runs

@@ -1,0 +1,250 @@
+package journal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"tracecache/internal/config"
+	"tracecache/internal/experiments"
+	"tracecache/internal/metrics"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sampleRecords() []Record {
+	return []Record{
+		{Time: "2026-08-08T10:00:00Z", Config: "baseline", Benchmark: "gcc",
+			Provenance: stats.ProvCold, Cycles: 1200, Retired: 3000, IPC: 2.5,
+			EffFetchRate: 2.914, CondMispredictPct: 6.21, WallMillis: 41.5,
+			Meta: &stats.Meta{Tool: "tcbench", WarmupInsts: 1000, MaxInsts: 3000,
+				Provenance: stats.ProvCold}},
+		{Time: "2026-08-08T10:00:01Z", Config: "baseline", Benchmark: "go",
+			Provenance: stats.ProvCheckpointFork, Cycles: 1500, Retired: 3000,
+			IPC: 2, EffFetchRate: 2.618, CondMispredictPct: 8.4, WallMillis: 38.2,
+			QueueWaitMillis: 1.25},
+		{Time: "2026-08-08T10:00:02Z", Config: "packing", Benchmark: "gcc",
+			Provenance: stats.ProvMemoized, Cycles: 1200, Retired: 3000, IPC: 2.5,
+			EffFetchRate: 2.914, CondMispredictPct: 6.21},
+		{Time: "2026-08-08T10:00:03Z", Config: "packing", Benchmark: "go",
+			Error: "experiments: packing/go: boom"},
+	}
+}
+
+// TestRoundTrip checks Append/Read preserve records exactly.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, truncated, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean journal reported a truncated tail")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestOpenFileAppends checks OpenFile appends across reopenings.
+func TestOpenFileAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	recs := sampleRecords()
+	for _, rec := range recs[:2] {
+		w, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Benchmark != "gcc" || got[1].Benchmark != "go" {
+		t.Errorf("reopened journal = %+v", got)
+	}
+}
+
+// TestTruncatedTail checks a final line cut mid-record is skipped with the
+// truncated flag, while mid-file corruption is an error.
+func TestTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range sampleRecords()[:2] {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.String()
+
+	// Simulate a crash mid-append: cut the final line short.
+	cut := full[:len(full)-10]
+	got, truncated, err := Read(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("truncated tail should not error: %v", err)
+	}
+	if !truncated {
+		t.Error("truncated tail not reported")
+	}
+	if len(got) != 1 || got[0].Benchmark != "gcc" {
+		t.Errorf("records before the cut = %+v, want the first record only", got)
+	}
+
+	// An unterminated but parseable final line is also treated as suspect.
+	got, truncated, err = Read(strings.NewReader(strings.TrimSuffix(full, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(got) != 1 {
+		t.Errorf("unterminated final line: records=%d truncated=%v, want 1/true", len(got), truncated)
+	}
+
+	// Corruption before the tail is an error, not silent data loss.
+	corrupt := "{bogus\n" + full
+	if _, _, err := Read(strings.NewReader(corrupt)); err == nil {
+		t.Error("mid-file corruption should error")
+	}
+
+	// Blank lines are ignored.
+	got, _, err = Read(strings.NewReader("\n" + full + "\n"))
+	if err != nil || len(got) != 2 {
+		t.Errorf("blank-line tolerance: records=%d err=%v", len(got), err)
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestReportGolden pins the summary rendering.
+func TestReportGolden(t *testing.T) {
+	checkGolden(t, "report.golden", Report(sampleRecords(), false))
+}
+
+// TestDiffGolden pins the journal-diff rendering.
+func TestDiffGolden(t *testing.T) {
+	a := sampleRecords()
+	b := append([]Record(nil), a...)
+	// b: improved gcc, regressed go, dropped the failed point, added one.
+	b[0].EffFetchRate, b[0].IPC = 3.205, 2.75
+	b[1].EffFetchRate, b[1].IPC = 2.549, 1.9
+	b = b[:3]
+	b = append(b, Record{Config: "promotion", Benchmark: "gcc",
+		Provenance: stats.ProvCold, IPC: 2.6, EffFetchRate: 3.01,
+		CondMispredictPct: 5.9})
+	checkGolden(t, "diff.golden", Diff(sampleRecords(), b))
+}
+
+// TestSweepTieOut runs a real 10-point sweep (2 configurations × 5
+// benchmarks, with duplicate requests) through an instrumented, journaled
+// runner and checks the journal alone reproduces the runner's counters:
+// every request has exactly one record, and per-provenance record counts
+// equal the memo/cold/fork counters.
+func TestSweepTieOut(t *testing.T) {
+	r := experiments.NewRunner(1_000, 3_000)
+	r.Workers = 4
+	m := experiments.InstrumentRunner(metrics.NewRegistry())
+	r.Metrics = m
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var errMu sync.Mutex
+	var appendErrs []error
+	r.OnRun = RunnerListener(w, func(err error) {
+		errMu.Lock()
+		appendErrs = append(appendErrs, err)
+		errMu.Unlock()
+	})
+
+	cfgA := config.Baseline()
+	cfgB := config.Baseline()
+	cfgB.Name = "baseline-copy"
+	benches := r.Benchmarks()[:5]
+	var wg sync.WaitGroup
+	for range 2 { // duplicate every request once → memo hits
+		for _, b := range benches {
+			for _, c := range []sim.Config{cfgA, cfgB} {
+				wg.Add(1)
+				go func(c sim.Config, b string) {
+					defer wg.Done()
+					if _, err := r.RunE(c, b); err != nil {
+						t.Errorf("RunE: %v", err)
+					}
+				}(c, b)
+			}
+		}
+	}
+	wg.Wait()
+	if len(appendErrs) > 0 {
+		t.Fatalf("journal append errors: %v", appendErrs)
+	}
+
+	recs, truncated, err := Read(&buf)
+	if err != nil || truncated {
+		t.Fatalf("read back: err=%v truncated=%v", err, truncated)
+	}
+	if got, want := uint64(len(recs)), m.MemoHits.Value()+m.MemoMisses.Value(); got != want {
+		t.Errorf("journal records = %d, want memo hits+misses = %d", got, want)
+	}
+	prov := map[string]uint64{}
+	for _, rec := range recs {
+		if rec.Error != "" {
+			t.Errorf("unexpected failed record: %+v", rec)
+		}
+		prov[rec.Provenance]++
+		if rec.Retired == 0 || rec.IPC == 0 {
+			t.Errorf("record missing statistics: %+v", rec)
+		}
+		if rec.Meta == nil {
+			t.Errorf("record missing meta: %+v", rec)
+		}
+	}
+	if got := prov[stats.ProvMemoized]; got != m.MemoHits.Value() {
+		t.Errorf("memoized records = %d, want %d", got, m.MemoHits.Value())
+	}
+	if got := prov[stats.ProvCold]; got != m.ColdStarts.Value() {
+		t.Errorf("cold records = %d, want %d", got, m.ColdStarts.Value())
+	}
+	if got := prov[stats.ProvCheckpointFork]; got != m.CheckpointForks.Value() {
+		t.Errorf("fork records = %d, want %d", got, m.CheckpointForks.Value())
+	}
+
+	// The report reproduces the sweep summary from the journal alone.
+	rep := Report(recs, false)
+	if !strings.Contains(rep, "10 cold") || !strings.Contains(rep, "10 memoized") {
+		t.Errorf("report does not reflect the sweep:\n%s", rep)
+	}
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import "tracecache/internal/obs"
+
+// BusSink bridges the structured event bus into the metrics registry: it
+// counts every event by kind under tracecache_obs_events_total, so the
+// existing producers (fetch engine, fill unit, recovery machinery,
+// self-check layer) surface on /metrics with no new plumbing. Counters are
+// atomic, so one sink may be shared by the per-simulation buses of a
+// concurrent sweep.
+type BusSink struct {
+	kinds [obs.NumKinds]*Counter
+}
+
+// NewBusSink builds a sink counting into the registry.
+func NewBusSink(r *Registry) *BusSink {
+	s := &BusSink{}
+	for k := obs.Kind(0); k < obs.NumKinds; k++ {
+		s.kinds[k] = r.Counter("tracecache_obs_events_total",
+			"Structured simulator events by kind (see internal/obs).",
+			"kind", k.String())
+	}
+	return s
+}
+
+// Kinds implements obs.Sink: every kind is observed.
+func (s *BusSink) Kinds() uint64 { return obs.AllKinds }
+
+// Emit implements obs.Sink.
+func (s *BusSink) Emit(ev obs.Event) {
+	if ev.Kind < obs.NumKinds {
+		s.kinds[ev.Kind].Inc()
+	}
+}

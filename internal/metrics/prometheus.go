@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families in name order, one HELP and
+// TYPE line each, series in canonical label order, histograms as
+// cumulative le-buckets plus _sum and _count. Values are read atomically;
+// a concurrent update may land between two lines, which the format
+// permits.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.sortedFamilies() {
+		if fam.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(kindNames[fam.kind])
+		bw.WriteByte('\n')
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				writeSample(bw, fam.name, s.labels, "", formatUint(s.c.Value()))
+			case kindGauge:
+				writeSample(bw, fam.name, s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+			case kindHistogram:
+				bounds, cum := s.h.Cumulative()
+				for i, b := range bounds {
+					writeSample(bw, fam.name+"_bucket", s.labels,
+						`le="`+formatFloat(b)+`"`, formatUint(cum[i]))
+				}
+				writeSample(bw, fam.name+"_bucket", s.labels,
+					`le="+Inf"`, formatUint(cum[len(cum)-1]))
+				writeSample(bw, fam.name+"_sum", s.labels, "", formatFloat(s.h.Sum()))
+				writeSample(bw, fam.name+"_count", s.labels, "", formatUint(s.h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one sample line, merging the series labels with an
+// optional extra pair (the histogram le label).
+func writeSample(bw *bufio.Writer, name, labels, extra, value string) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (NaN|[-+]?Inf|[-+]?[0-9.eE+-]+)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+)
+
+// validatePrometheus is a minimal parser for the text exposition format:
+// every line must be a HELP comment, a TYPE comment, or a well-formed
+// sample; TYPE must precede its family's samples; histogram families must
+// expose cumulative monotone le-buckets ending in +Inf, with the +Inf
+// bucket equal to _count, and a _sum sample.
+func validatePrometheus(t *testing.T, out string) {
+	t.Helper()
+	typeOf := map[string]string{}
+	samples := map[string][]string{} // family -> values in order (histograms: bucket values)
+	var sums, counts map[string]float64
+	sums, counts = map[string]float64{}, map[string]float64{}
+
+	family := func(name string) string {
+		for base, typ := range typeOf {
+			if typ == "histogram" &&
+				(name == base+"_bucket" || name == base+"_sum" || name == base+"_count") {
+				return base
+			}
+		}
+		return name
+	}
+
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || !nameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			if _, dup := typeOf[parts[0]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, parts[0])
+			}
+			typeOf[parts[0]] = parts[1]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					t.Fatalf("line %d: malformed label %q in %q", ln+1, pair, line)
+				}
+			}
+		}
+		base := family(name)
+		if _, ok := typeOf[base]; !ok {
+			t.Fatalf("line %d: sample %q precedes its TYPE line", ln+1, line)
+		}
+		if typeOf[base] == "histogram" {
+			switch {
+			case name == base+"_bucket":
+				samples[base] = append(samples[base], value)
+			case name == base+"_sum":
+				sums[base], _ = strconv.ParseFloat(value, 64)
+			case name == base+"_count":
+				counts[base], _ = strconv.ParseFloat(value, 64)
+			default:
+				t.Fatalf("line %d: stray histogram sample %q", ln+1, line)
+			}
+			if name == base+"_bucket" && !strings.Contains(labels, `le="`) {
+				t.Fatalf("line %d: bucket without le label: %q", ln+1, line)
+			}
+		} else {
+			samples[base] = append(samples[base], value)
+		}
+	}
+
+	for base, typ := range typeOf {
+		if typ != "histogram" {
+			if len(samples[base]) == 0 {
+				t.Errorf("family %s has no samples", base)
+			}
+			continue
+		}
+		vals := samples[base]
+		if len(vals) == 0 {
+			t.Errorf("histogram %s has no buckets", base)
+			continue
+		}
+		prev := -1.0
+		for i, v := range vals {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < prev {
+				t.Errorf("histogram %s: bucket %d value %q not cumulative", base, i, v)
+			}
+			prev = f
+		}
+		if prev != counts[base] {
+			t.Errorf("histogram %s: +Inf bucket %v != count %v", base, prev, counts[base])
+		}
+		if _, ok := sums[base]; !ok {
+			t.Errorf("histogram %s: missing _sum", base)
+		}
+	}
+}
+
+// splitLabels splits a rendered label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// TestWritePrometheusValid fills a registry with every metric kind,
+// including labelled families and escaped values, and validates the full
+// exposition.
+func TestWritePrometheusValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tracecache_runner_runs_started_total", "Simulations started.").Add(7)
+	r.Counter("tracecache_obs_events_total", "Events.", "kind", "tc-hit").Add(41)
+	r.Counter("tracecache_obs_events_total", "Events.", "kind", `we"ird\nk`).Inc()
+	r.Gauge("tracecache_runner_workers_busy", "Busy workers.").Set(3)
+	h := r.Histogram("tracecache_runner_run_wall_seconds", "Run wall time.", DefSecondsBuckets)
+	for _, v := range []float64{0.004, 0.2, 3, 100} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheus(t, sb.String())
+}
+
+// TestPrometheusGolden pins the exact exposition of a small registry, so
+// format regressions (ordering, spacing, label rendering) are visible.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "counts b", "kind", "y").Add(2)
+	r.Counter("b_total", "counts b", "kind", "x").Add(1)
+	r.Gauge("a_gauge", "gauges a").Set(-5)
+	h := r.Histogram("c_seconds", "times c", []float64{0.5, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge gauges a
+# TYPE a_gauge gauge
+a_gauge -5
+# HELP b_total counts b
+# TYPE b_total counter
+b_total{kind="x"} 1
+b_total{kind="y"} 2
+# HELP c_seconds times c
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.5"} 1
+c_seconds_bucket{le="2"} 1
+c_seconds_bucket{le="+Inf"} 2
+c_seconds_sum 3.5
+c_seconds_count 2
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	validatePrometheus(t, sb.String())
+}
+
+// TestPrometheusFloatFormatting spot-checks float rendering of bounds and
+// sums.
+func TestPrometheusFloatFormatting(t *testing.T) {
+	if got := formatFloat(0.005); got != "0.005" {
+		t.Errorf("formatFloat(0.005) = %q", got)
+	}
+	if got := formatFloat(float64(1) / 3); !strings.HasPrefix(got, "0.333") {
+		t.Errorf("formatFloat(1/3) = %q", got)
+	}
+	if got := fmt.Sprint(formatUint(1 << 60)); got != "1152921504606846976" {
+		t.Errorf("formatUint = %q", got)
+	}
+}

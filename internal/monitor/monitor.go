@@ -1,0 +1,190 @@
+package monitor
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tracecache/internal/metrics"
+)
+
+// Server is the monitoring HTTP surface: Prometheus metrics, live sweep
+// progress (JSON and SSE), expvar, and pprof. Zero values disable the
+// corresponding endpoints' content, not the endpoints.
+type Server struct {
+	// Registry feeds /metrics and the expvar snapshot. Nil serves an
+	// empty exposition.
+	Registry *metrics.Registry
+	// Progress feeds /progress. Nil serves a zero snapshot.
+	Progress *Progress
+
+	httpSrv *http.Server
+}
+
+// expvarOnce guards the process-global expvar publication: the first
+// server's registry becomes the "tracecache_metrics" var (expvar.Publish
+// panics on duplicates).
+var expvarOnce sync.Once
+
+// Handler builds the monitoring mux.
+func (s *Server) Handler() http.Handler {
+	if s.Registry != nil {
+		reg := s.Registry
+		expvarOnce.Do(func() {
+			expvar.Publish("tracecache_metrics", expvar.Func(func() any {
+				return reg.Snapshot()
+			}))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/progress", s.progress)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0"), serves the monitoring mux
+// in the background, and returns the bound address. Close the server to
+// stop it.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: %w", err)
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() {
+		// ErrServerClosed (and listener-closed errors) are the normal
+		// shutdown path; the server has no other way to fail that the
+		// caller could act on.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops a started server, terminating open SSE streams.
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><head><title>tracecache monitor</title></head><body>
+<h1>tracecache monitor</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/progress">/progress</a> — sweep progress (JSON; add ?sse=1 for a live stream)</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — profiling</li>
+</ul></body></html>
+`)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.Registry == nil {
+		return
+	}
+	_ = s.Registry.WritePrometheus(w)
+}
+
+// snapshot returns the current progress, or a zero snapshot without a
+// tracker.
+func (s *Server) snapshot() Snapshot {
+	if s.Progress == nil {
+		return Snapshot{ETASeconds: -1, Points: []PointState{}}
+	}
+	return s.Progress.Snapshot()
+}
+
+func (s *Server) progress(w http.ResponseWriter, r *http.Request) {
+	if wantSSE(r) {
+		s.progressSSE(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.snapshot())
+}
+
+// wantSSE selects the streaming variant via Accept: text/event-stream or
+// ?sse=1.
+func wantSSE(r *http.Request) bool {
+	if r.URL.Query().Get("sse") == "1" {
+		return true
+	}
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			part = strings.TrimSpace(part)
+			if media, _, ok := strings.Cut(part, ";"); ok {
+				part = strings.TrimSpace(media)
+			}
+			if part == "text/event-stream" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// progressSSE streams snapshots as Server-Sent Events every ?interval
+// milliseconds (default 1000, minimum 10) until the sweep completes or
+// the client disconnects. The event reporting Complete is the last.
+func (s *Server) progressSSE(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	interval := 1000
+	if v := r.URL.Query().Get("interval"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			interval = n
+		}
+	}
+	if interval < 10 {
+		interval = 10
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ticker := time.NewTicker(time.Duration(interval) * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		snap := s.snapshot()
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return
+		}
+		flusher.Flush()
+		if snap.Complete {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"tracecache/internal/metrics"
+	"tracecache/internal/stats"
+	"tracecache/internal/workload"
+)
+
+// TestAttachMetricsCounts checks the batched counter flushes account for
+// every committed instruction and cycle: with no warmup, the process-wide
+// counters must equal the run's own totals exactly.
+func TestAttachMetricsCounts(t *testing.T) {
+	prog, err := workload.SharedProgram("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 0
+	cfg.MaxInsts = 30_000
+
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	s, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachMetrics(m)
+	run := s.Run()
+
+	if got, want := m.Insts.Value(), run.Retired; got != want {
+		t.Errorf("insts counter = %d, want %d", got, want)
+	}
+	if got, want := m.Cycles.Value(), run.Cycles; got != want {
+		t.Errorf("cycles counter = %d, want %d", got, want)
+	}
+	if run.Meta == nil || run.Meta.Provenance != stats.ProvCold {
+		t.Errorf("Meta.Provenance = %v, want %q", run.Meta, stats.ProvCold)
+	}
+}
+
+// TestAttachMetricsWarmupIncluded checks counters cover warmup (the live
+// insts/s view cares about simulator work, not the measurement window) and
+// that detached simulation leaves counters untouched.
+func TestAttachMetricsWarmupIncluded(t *testing.T) {
+	prog, err := workload.SharedProgram("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 10_000
+	cfg.MaxInsts = 20_000
+
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	s, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachMetrics(m)
+	run := s.Run()
+
+	if m.Insts.Value() < cfg.WarmupInsts+run.Retired {
+		t.Errorf("insts counter = %d, want >= warmup %d + measured %d",
+			m.Insts.Value(), cfg.WarmupInsts, run.Retired)
+	}
+	if m.Cycles.Value() <= run.Cycles {
+		t.Errorf("cycles counter = %d, want > measured cycles %d", m.Cycles.Value(), run.Cycles)
+	}
+
+	// A detached run must not move the counters.
+	before := m.Insts.Value()
+	s2, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if m.Insts.Value() != before {
+		t.Errorf("detached run moved the insts counter: %d -> %d", before, m.Insts.Value())
+	}
+}
+
+// TestMetricsDetachedStatsIdentical pins that attaching metrics changes no
+// simulated statistic.
+func TestMetricsDetachedStatsIdentical(t *testing.T) {
+	prog, err := workload.SharedProgram("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 5_000
+	cfg.MaxInsts = 15_000
+
+	runOnce := func(attach bool) stats.Run {
+		s, err := New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			s.AttachMetrics(NewMetrics(metrics.NewRegistry()))
+		}
+		run := *s.Run()
+		run.Meta = nil
+		return run
+	}
+	if plain, metered := runOnce(false), runOnce(true); plain != metered {
+		t.Error("attaching metrics changed simulated statistics")
+	}
+}

@@ -151,6 +151,14 @@ type Simulator struct {
 	coll   *obs.Collector
 	occSum uint64 // per-cycle window occupancy sum (collector enabled only)
 
+	// met is the fleet-level metrics attachment (AttachMetrics); nil by
+	// default, so the detached path costs one nil comparison per site.
+	// metInsts accumulates retirements between batched flushes and
+	// metCycleMark is the cycle of the last flush.
+	met          *Metrics
+	metInsts     uint64
+	metCycleMark uint64
+
 	// chk is the self-verification layer (Config.Check); nil by default,
 	// so the unchecked path costs one nil comparison per site.
 	chk *check.Checker
@@ -433,6 +441,12 @@ func (s *Simulator) Run() *stats.Run {
 				V1: uint64(s.eng.InFlight()),
 			})
 		}
+		if s.met != nil && s.cycle&(metricsFlushPeriod-1) == 0 {
+			s.flushMetrics()
+		}
+	}
+	if s.met != nil {
+		s.flushMetrics()
 	}
 	s.run.Cycles = s.cycle - s.cycleBase
 	s.run.Meta = s.buildMeta(start, time.Since(start))
@@ -462,12 +476,17 @@ func (s *Simulator) Run() *stats.Run {
 // buildMeta records the run's provenance.
 func (s *Simulator) buildMeta(start time.Time, wall time.Duration) *stats.Meta {
 	host, _ := os.Hostname()
+	prov := stats.ProvCold
+	if s.fromCheckpoint {
+		prov = stats.ProvCheckpointFork
+	}
 	return &stats.Meta{
 		ConfigHash:       s.cfg.Hash(),
 		WarmupInsts:      s.cfg.WarmupInsts,
 		MaxInsts:         s.cfg.MaxInsts,
 		FastForwardInsts: s.ffwdDone,
 		CheckpointShared: s.fromCheckpoint,
+		Provenance:       prov,
 		WallMillis:       float64(wall.Microseconds()) / 1000,
 		GoVersion:        runtime.Version(),
 		Hostname:         host,
@@ -532,6 +551,9 @@ func (s *Simulator) retire() {
 func (s *Simulator) retireInst(d *dyn) {
 	in := d.fi.Inst
 	s.run.Retired++
+	if s.met != nil {
+		s.metInsts++
+	}
 	if s.OnRetire != nil {
 		s.OnRetire(d.fi.PC)
 	}

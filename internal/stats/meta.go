@@ -1,5 +1,17 @@
 package stats
 
+// Result provenance values (Meta.Provenance and journal records).
+const (
+	// ProvCold marks a result simulated from scratch.
+	ProvCold = "cold"
+	// ProvCheckpointFork marks a result whose functional prefix was
+	// restored from a shared architectural checkpoint.
+	ProvCheckpointFork = "checkpoint-fork"
+	// ProvMemoized marks a result shared from a runner's singleflight
+	// memo: the request it describes simulated nothing.
+	ProvMemoized = "memoized"
+)
+
 // Meta records the provenance of one run so serialized results (summary
 // JSON, time-series files, CI trend data) are self-describing: which
 // binary produced them, under which configuration and budgets, and how
@@ -22,6 +34,14 @@ type Meta struct {
 	// from a shared architectural checkpoint (no per-configuration warming
 	// during the prefix) rather than stepped by this simulator.
 	CheckpointShared bool `json:"checkpointShared,omitempty"`
+	// Provenance records how the result was produced: ProvCold (simulated
+	// from scratch by this process), ProvCheckpointFork (fast-forward
+	// prefix restored from a shared architectural checkpoint), or — on
+	// journal records whose result was shared from a runner's memo rather
+	// than simulated for that request — ProvMemoized. The simulator only
+	// ever writes the first two; the value is a pure function of the run
+	// mode, so serialized summaries stay deterministic.
+	Provenance string `json:"provenance,omitempty"`
 	// WallMillis is the simulation wall time in milliseconds.
 	WallMillis float64 `json:"wallMillis"`
 	// GoVersion is the runtime that executed the simulation.

@@ -1,14 +1,16 @@
 #!/bin/sh
 # Regenerates BENCH_perf.json, the committed performance trajectory for the
-# simulator. Run on an idle machine:
+# simulator, and the monitoring_disabled block of BENCH_obs.json. Run on an
+# idle machine:
 #
 #	scripts/bench.sh            # ~1 min
 #	BENCHTIME=5x scripts/bench.sh
 #
-# The pre_pr_baseline block is the frozen measurement taken immediately
-# before the perf PR (sequential runner, pre-diet allocator behaviour) and
-# is preserved verbatim so every later regeneration still shows the
-# trajectory against the same origin.
+# The pre_pr_baseline block (BENCH_perf.json) and the observability
+# blocks plus the pre_pr_* fields of monitoring_disabled (BENCH_obs.json)
+# are frozen measurements taken immediately before their respective PRs
+# and are preserved verbatim so every later regeneration still shows the
+# trajectory against the same origins.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -97,3 +99,48 @@ cat > BENCH_perf.json <<EOF
 }
 EOF
 echo "wrote BENCH_perf.json"
+
+# BENCH_obs.json: refresh the monitoring disabled-path head measurement
+# against the frozen pre-monitoring-PR baseline. The observability blocks
+# (disabled_path, enabled_path) are PR-1-era frozen measurements.
+HEAD_NS="$(pick SimulatorThroughput 'ns/op')"
+MON_BASE_MIN=236530691
+MON_DELTA="$(awk -v h="$HEAD_NS" -v b="$MON_BASE_MIN" 'BEGIN { printf "%.2f", (h / b - 1) * 100 }')"
+MON_PASS="$(awk -v d="$MON_DELTA" 'BEGIN { print (d <= 1.0) ? "true" : "false" }')"
+
+cat > BENCH_obs.json <<EOF
+{
+  "description": "Observability-layer overhead baseline. Disabled-path numbers compare BenchmarkSimulatorThroughput (bench_test.go, gcc/baseline, 200k insts) between the pre-observability seed (f3365ad) and this tree with no observer attached, run as alternating prebuilt binaries, 8 rounds of -benchtime 5x each; min-of-rounds is the noise-robust statistic (an identical-binary control run showed a +/-7% noise floor on this host). Enabled-path numbers are BenchmarkSimulatorObsDisabled / BenchmarkSimulatorObsEnabled (internal/obs, compress/promo-t64, 200k insts) with a full ChromeTrace sink and interval collector attached.",
+  "date": "2026-08-05",
+  "host": "vm (linux, go1.24.0)",
+  "disabled_path": {
+    "benchmark": "BenchmarkSimulatorThroughput",
+    "seed_ns_per_op_min": 253975476,
+    "head_ns_per_op_min": 245762939,
+    "seed_ns_per_op_mean": 297541941,
+    "head_ns_per_op_mean": 295975848,
+    "delta_min_pct": -3.23,
+    "delta_mean_pct": -0.53,
+    "criterion": "<= 1% slowdown vs seed",
+    "pass": true,
+    "note": "the records-slice preallocation added alongside the instrumentation more than pays for the widened fetchRec; all emit sites are nil-checked and the profile shows no obs frames with no observer attached"
+  },
+  "enabled_path": {
+    "disabled_ns_per_op_min": 277403661,
+    "enabled_ns_per_op_min": 541596109,
+    "overhead_x": 1.95,
+    "note": "opt-in cost with every sink attached (ChromeTrace retains ~1M events in memory); the bus alone without retention sinks is far cheaper"
+  },
+  "monitoring_disabled": {
+    "date": "$DATE",
+    "benchmark": "BenchmarkSimulatorThroughput",
+    "note": "fleet-metrics disabled-path overhead (no -http/-journal: Simulator.met nil, Runner hooks nil). Baseline is the tree immediately before the monitoring PR (min of 6 alternating -benchtime 5x rounds); head is this regeneration's single $BENCHTIME round, so expect the +/-7% noise floor.",
+    "pre_pr_ns_per_op_min": $MON_BASE_MIN,
+    "head_ns_per_op": $HEAD_NS,
+    "delta_pct": $MON_DELTA,
+    "criterion": "head no slower than the frozen pre-PR baseline min (+1% tolerance, inside the noise floor)",
+    "pass": $MON_PASS
+  }
+}
+EOF
+echo "wrote BENCH_obs.json"

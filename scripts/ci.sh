@@ -15,8 +15,9 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (obs, sim) =="
-go test -race ./internal/obs/... ./internal/sim/...
+echo "== go test -race (obs, sim, metrics, monitor, journal) =="
+go test -race ./internal/obs/... ./internal/sim/... \
+	./internal/metrics/... ./internal/monitor/... ./internal/journal/...
 
 echo "== go test -race (sweep engine: worker pool + singleflight + program cache) =="
 go test -race -run 'Parallel|Singleflight|RunE|SweepE|RunAll|Shared|FastForward' \
@@ -37,6 +38,41 @@ go run ./cmd/tcsim -check -bench gcc -config promo-pack-costreg \
 
 echo "== differential fuzz seeds (replay only, no fuzzing) =="
 go test -run 'FuzzDifferential' ./internal/check/
+
+echo "== monitoring smoke (live /metrics + /progress during a -j N sweep, stdout purity) =="
+go build -o /tmp/tcbench-ci ./cmd/tcbench
+rm -f /tmp/tcbench-ci-journal.jsonl
+/tmp/tcbench-ci -exp all -warmup 2000 -insts 8000 -j 4 \
+	-http 127.0.0.1:0 -journal /tmp/tcbench-ci-journal.jsonl \
+	>/tmp/tcbench-ci-monitored.out 2>/tmp/tcbench-ci.err &
+MON_PID=$!
+# Wait for the server announce, then hit the endpoints while the sweep runs.
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR=$(sed -n 's|.*monitoring on http://\([^ ]*\).*|\1|p' /tmp/tcbench-ci.err)
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: no monitoring announce"; cat /tmp/tcbench-ci.err; exit 1; }
+curl -sf "http://$ADDR/metrics" >/tmp/tcbench-ci-metrics.txt
+curl -sf "http://$ADDR/progress" >/tmp/tcbench-ci-progress.json
+curl -sf "http://$ADDR/debug/pprof/" >/dev/null
+wait "$MON_PID"
+for series in tracecache_runner_runs_started_total \
+	tracecache_runner_memo_hits_total \
+	tracecache_sim_instructions_committed_total \
+	tracecache_runner_run_wall_seconds_bucket \
+	tracecache_obs_events_total; do
+	grep -q "$series" /tmp/tcbench-ci-metrics.txt || {
+		echo "FAIL: /metrics missing $series"; exit 1; }
+done
+grep -q '"total"' /tmp/tcbench-ci-progress.json || {
+	echo "FAIL: /progress missing fields"; exit 1; }
+[ -s /tmp/tcbench-ci-journal.jsonl ] || { echo "FAIL: journal empty"; exit 1; }
+/tmp/tcbench-ci -journal-report /tmp/tcbench-ci-journal.jsonl >/dev/null
+/tmp/tcbench-ci -exp all -warmup 2000 -insts 8000 -j 1 >/tmp/tcbench-ci-bare.out 2>/dev/null
+cmp /tmp/tcbench-ci-monitored.out /tmp/tcbench-ci-bare.out || {
+	echo "FAIL: monitored stdout differs from bare run"; exit 1; }
 
 echo "== benchmark smoke =="
 go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .

@@ -29,6 +29,9 @@ import (
 	"tracecache/internal/config"
 	"tracecache/internal/core"
 	"tracecache/internal/experiments"
+	"tracecache/internal/journal"
+	"tracecache/internal/metrics"
+	"tracecache/internal/monitor"
 	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
@@ -218,6 +221,80 @@ func NewIntervalCollector(everyCycles uint64) *IntervalCollector {
 // NewChromeTrace builds a Chrome/Perfetto trace-event sink retaining at
 // most maxEvents events (non-positive selects the default cap).
 func NewChromeTrace(maxEvents int) *ChromeTrace { return obs.NewChromeTrace(maxEvents) }
+
+// Fleet-level observability. A MetricsRegistry holds process-wide atomic
+// counters, gauges and histograms with Prometheus text exposition;
+// InstrumentRunner wires a Runner's lifecycle into one, RunnerMetrics.Sim
+// carries the shared simulator counters, and SweepProgress plus
+// MonitorServer expose a live sweep over HTTP (/metrics, /progress as
+// JSON or SSE, /debug/pprof). A JournalWriter persists one JSONL record
+// per simulation request. Everything here is opt-in and out-of-band: a
+// runner with nil hooks pays one nil check per site, and enabling
+// monitoring changes no simulated statistic and no experiment output.
+type (
+	// MetricsRegistry registers and exposes process-wide metrics.
+	MetricsRegistry = metrics.Registry
+	// RunnerMetrics is the counter set a Runner feeds when instrumented.
+	RunnerMetrics = experiments.RunnerMetrics
+	// RunEvent is one run-lifecycle notification from a Runner.
+	RunEvent = experiments.RunEvent
+	// SweepProgress aggregates run events into live sweep status.
+	SweepProgress = monitor.Progress
+	// MonitorServer serves /metrics, /progress, expvar and pprof.
+	MonitorServer = monitor.Server
+	// JournalWriter appends one JSON line per simulation request.
+	JournalWriter = journal.Writer
+	// JournalRecord is one journal line.
+	JournalRecord = journal.Record
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// InstrumentRunner registers the runner counter set in the registry;
+// assign the result to Runner.Metrics before the first Run call.
+func InstrumentRunner(r *MetricsRegistry) *RunnerMetrics {
+	return experiments.InstrumentRunner(r)
+}
+
+// NewSweepProgress builds a live progress tracker; wire its Listener into
+// Runner.OnRun. workers sizes the ETA divisor and insts (may be nil)
+// reads the fleet committed-instruction counter, typically
+// RunnerMetrics.Sim.Insts.Value.
+func NewSweepProgress(workers int, insts func() uint64) *SweepProgress {
+	return monitor.NewProgress(workers, insts)
+}
+
+// OpenJournal opens (creating if needed) a JSONL run journal for
+// appending; wire journal listeners via RunnerJournalListener.
+func OpenJournal(path string) (*JournalWriter, error) { return journal.OpenFile(path) }
+
+// RunnerJournalListener adapts a journal writer into a Runner.OnRun
+// listener appending one record per resolved request. Combine listeners
+// with RunListeners.
+func RunnerJournalListener(w *JournalWriter, onErr func(error)) func(RunEvent) {
+	return journal.RunnerListener(w, onErr)
+}
+
+// RunListeners fans one RunEvent to every non-nil listener in order.
+func RunListeners(ls ...func(RunEvent)) func(RunEvent) {
+	return experiments.MultiListener(ls...)
+}
+
+// ReadJournal reads a journal file; truncatedTail reports an unterminated
+// final line (the signature of a process killed mid-append), which is
+// skipped rather than failing the read.
+func ReadJournal(path string) (recs []JournalRecord, truncatedTail bool, err error) {
+	return journal.ReadFile(path)
+}
+
+// JournalReport renders a human-readable summary of journal records.
+func JournalReport(recs []JournalRecord, truncatedTail bool) string {
+	return journal.Report(recs, truncatedTail)
+}
+
+// JournalDiff renders a point-by-point comparison of two journals.
+func JournalDiff(a, b []JournalRecord) string { return journal.Diff(a, b) }
 
 // Analysis summarises a program's dynamic instruction stream (block sizes,
 // branch bias, call/indirect mix).
