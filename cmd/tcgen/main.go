@@ -23,11 +23,11 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "gcc", "benchmark name")
-		disasm  = flag.Bool("disasm", false, "print the disassembly")
-		doStat  = flag.Bool("stats", true, "print static and dynamic statistics")
-		limit   = flag.Uint64("limit", 500_000, "dynamic-analysis instruction budget")
-		list    = flag.Bool("list", false, "list benchmarks")
+		bench    = flag.String("bench", "gcc", "benchmark name")
+		disasm   = flag.Bool("disasm", false, "print the disassembly")
+		doStat   = flag.Bool("stats", true, "print static and dynamic statistics")
+		limit    = flag.Uint64("limit", 500_000, "dynamic-analysis instruction budget")
+		list     = flag.Bool("list", false, "list benchmarks")
 		save     = flag.String("save", "", "write the program image to this file")
 		version  = flag.Bool("version", false, "print version and exit")
 		httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while generating/analyzing")

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags per-call allocation sources inside functions annotated
+// //tc:hotpath: address-taken or slice/map composite literals, appends
+// that do not reuse a preallocated buffer, closures, fmt calls, and
+// implicit interface conversions (boxing). These are the constructs the
+// PR 3 allocation diet removed from the cycle loop; the annotation locks
+// the diet in.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "//tc:hotpath functions must not allocate per call",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, dirHotPath) {
+					continue
+				}
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// checkHotFunc inspects one annotated function.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Appends that reuse a persistent buffer are allowed: x = append(x, ...)
+	// grows in place, and append(buf[:0], ...) explicitly reslices existing
+	// backing storage whatever the result is bound to. Everything else may
+	// grow a fresh backing array per call.
+	allowedAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		arg0 := unparen(call.Args[0])
+		if _, ok := arg0.(*ast.SliceExpr); ok {
+			// append(buf[:0], ...): reslicing names the storage being reused.
+			allowedAppend[call] = true
+		} else if types.ExprString(arg0) == types.ExprString(as.Lhs[0]) {
+			allowedAppend[call] = true
+		}
+		return true
+	})
+
+	var funcResults *ast.FieldList
+	if fd.Type != nil {
+		funcResults = fd.Type.Results
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path allocates; hoist it or pass state explicitly")
+			return false // constructs inside the (already-reported) closure are its problem
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal escapes and allocates in hot path")
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates per call in hot path; reuse a scratch buffer")
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates per call in hot path; reuse a persistent map")
+				}
+			} else {
+				// Degraded: fall back to the syntax.
+				switch tt := n.Type.(type) {
+				case *ast.ArrayType:
+					if tt.Len == nil {
+						pass.Reportf(n.Pos(), "slice literal allocates per call in hot path; reuse a scratch buffer")
+					}
+				case *ast.MapType:
+					pass.Reportf(n.Pos(), "map literal allocates per call in hot path; reuse a persistent map")
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") && !allowedAppend[n] {
+				pass.Reportf(n.Pos(), "append does not reuse a preallocated buffer in hot path; use x = append(x[:0], ...) on a scratch slice")
+			}
+			if f := calleeFunc(info, n); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "fmt.%s allocates (and boxes its operands) in hot path", f.Name())
+			} else if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok && info.Uses[sel.Sel] == nil {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+					pass.Reportf(n.Pos(), "fmt.%s allocates (and boxes its operands) in hot path", sel.Sel.Name)
+				}
+			}
+			checkCallBoxing(pass, n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // x, y = f() multi-value: skip
+				}
+				if boxesInterface(info.TypeOf(lhs), info.TypeOf(n.Rhs[i])) {
+					pass.Reportf(n.Rhs[i].Pos(), "assignment boxes %s into an interface in hot path", types.ExprString(n.Rhs[i]))
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type == nil {
+				break
+			}
+			dst := info.TypeOf(n.Type)
+			for _, v := range n.Values {
+				if boxesInterface(dst, info.TypeOf(v)) {
+					pass.Reportf(v.Pos(), "declaration boxes %s into an interface in hot path", types.ExprString(v))
+				}
+			}
+		case *ast.ReturnStmt:
+			if funcResults == nil {
+				break
+			}
+			flat := flattenFields(funcResults)
+			if len(n.Results) != len(flat) {
+				break
+			}
+			for i, res := range n.Results {
+				if boxesInterface(info.TypeOf(flat[i]), info.TypeOf(res)) {
+					pass.Reportf(res.Pos(), "return boxes %s into an interface in hot path", types.ExprString(res))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags call arguments implicitly converted to interface
+// parameters, and explicit conversions to interface types.
+func checkCallBoxing(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if isBuiltin(info, call, "panic") {
+		return // the boxing happens only on the dead (panicking) path
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion I(x).
+		if len(call.Args) == 1 && boxesInterface(tv.Type, info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "conversion boxes %s into an interface in hot path", types.ExprString(call.Args[0]))
+		}
+		return
+	}
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through ... does not box
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxesInterface(pt, info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface parameter in hot path", types.ExprString(arg))
+		}
+	}
+}
+
+// flattenFields expands a field list into one entry per declared name
+// (or per anonymous field).
+func flattenFields(fl *ast.FieldList) []ast.Expr {
+	var out []ast.Expr
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, f.Type)
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed and (when possible) type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Sources maps each file name (as recorded in Fset) to its bytes, for
+	// trailing-comment detection in ignore-directive scoping.
+	Sources map[string][]byte
+	// Types and Info hold the type-check results. When the package failed
+	// to parse or type-check, Degraded is set, LoadDiags carries the
+	// errors, Types may be nil and Info is partial: analyzers degrade to
+	// the checks that need syntax only.
+	Types     *types.Package
+	Info      *types.Info
+	Degraded  bool
+	LoadDiags []Diagnostic
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *listError
+}
+
+type listError struct {
+	Pos string
+	Err string
+}
+
+// Loader resolves and type-checks packages against the compiler's export
+// data, as reported by `go list -export`.
+type Loader struct {
+	Dir     string // module/working directory the patterns were resolved in
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader runs `go list -e -export -deps -json` on the patterns from
+// dir and returns a loader plus the matched target packages (dependencies
+// are loaded for their export data only). Patterns follow the go tool
+// ("./...", specific import paths). A nonempty dir is required.
+func NewLoader(dir string, patterns ...string) (*Loader, []*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,DepOnly,Standard,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	l := &Loader{Dir: dir, Fset: token.NewFileSet(), exports: make(map[string]string)}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, &p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l, targets, nil
+}
+
+// lookup feeds export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// Check parses and type-checks one package from its directory and file
+// list. It never fails outright: parse and type errors become "load"
+// diagnostics on a Degraded package so syntax-only checks still run (and
+// the run exits nonzero).
+func (l *Loader) Check(importPath, dir string, goFiles []string) *Package {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Sources:    make(map[string][]byte, len(goFiles)),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	loadDiag := func(pos token.Position, format string, args ...any) {
+		pkg.LoadDiags = append(pkg.LoadDiags, Diagnostic{
+			Analyzer: "load", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, name := range goFiles {
+		fname := filepath.Join(dir, name)
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			pkg.Degraded = true
+			loadDiag(token.Position{Filename: fname, Line: 1, Column: 1}, "reading file: %v", err)
+			continue
+		}
+		pkg.Sources[fname] = src
+		file, err := parser.ParseFile(l.Fset, fname, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.Degraded = true
+			reportParseErrors(err, fname, loadDiag)
+			if file == nil {
+				continue
+			}
+		}
+		if pkg.Name == "" {
+			pkg.Name = file.Name.Name
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return pkg
+	}
+	var typeErrs []types.Error
+	conf := types.Config{
+		Importer:         l.imp,
+		Error:            func(err error) { typeErrs = append(typeErrs, err.(types.Error)) },
+		IgnoreFuncBodies: false,
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if len(typeErrs) > 0 || err != nil {
+		pkg.Degraded = true
+		if len(typeErrs) == 0 {
+			loadDiag(token.Position{Filename: filepath.Join(dir, goFiles[0]), Line: 1, Column: 1}, "type-checking: %v", err)
+		}
+		for _, te := range typeErrs {
+			loadDiag(l.Fset.Position(te.Pos), "type-checking degraded to syntax-only: %s", te.Msg)
+		}
+	}
+	return pkg
+}
+
+// reportParseErrors unpacks a scanner.ErrorList into one load diagnostic
+// per syntax error.
+func reportParseErrors(err error, fname string, loadDiag func(token.Position, string, ...any)) {
+	if list, ok := err.(scanner.ErrorList); ok {
+		for _, e := range list {
+			loadDiag(e.Pos, "parsing: %s", e.Msg)
+		}
+		return
+	}
+	loadDiag(token.Position{Filename: fname, Line: 1, Column: 1}, "parsing: %v", err)
+}
+
+// Load discovers, parses and type-checks the packages matched by the
+// patterns, rooted at dir.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	l, targets, err := NewLoader(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg := l.Check(t.ImportPath, t.Dir, t.GoFiles)
+		if t.Error != nil && !pkg.Degraded {
+			// go list saw an error the type-checker did not reproduce
+			// (e.g. an unresolved import of a broken dependency).
+			pkg.Degraded = true
+			pkg.LoadDiags = append(pkg.LoadDiags, Diagnostic{
+				Analyzer: "load", File: filepath.Join(t.Dir, "-"), Line: 1, Col: 1,
+				Message: t.Error.Err,
+			})
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Run is the full tcvet pipeline: load the patterns from dir, run the
+// analyzers, fold in ignore directives, and return the result.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(dir, pkgs, analyzers), nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// metricNameRE is the Prometheus metric-name grammar.
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// MetricHygiene checks every internal/metrics registration site: the
+// metric name must be a compile-time constant matching the Prometheus
+// naming grammar, each name must be registered from exactly one source
+// site (the registry is idempotent at runtime, but two sites sharing a
+// name silently merge series), and histogram bucket literals must ascend.
+// Package-level []float64 variables whose name contains "Bucket" are
+// checked for ascending order too, covering bounds declared away from
+// the registration call.
+func MetricHygiene() *Analyzer {
+	a := &Analyzer{
+		Name: "metrichygiene",
+		Doc:  "Prometheus-legal metric names, single registration site, ascending buckets",
+	}
+	type regSite struct {
+		pos  token.Position
+		name string
+	}
+	var sites []regSite
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					kind := registryCallKind(info, n)
+					if kind == "" || len(n.Args) == 0 {
+						return true
+					}
+					tv, ok := info.Types[n.Args[0]]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						pass.Reportf(n.Args[0].Pos(), "metric name must be a compile-time constant string for hygiene checking")
+						return true
+					}
+					name := constant.StringVal(tv.Value)
+					if !metricNameRE.MatchString(name) {
+						pass.Reportf(n.Args[0].Pos(), "metric name %q is not a legal Prometheus name (%s)", name, metricNameRE)
+					}
+					sites = append(sites, regSite{pos: pass.Pkg.Fset.Position(n.Args[0].Pos()), name: name})
+					if kind == "Histogram" && len(n.Args) >= 3 {
+						checkBucketExpr(pass, n.Args[2])
+					}
+				case *ast.ValueSpec:
+					// Package-level ...Bucket... variable initializers.
+					for i, vname := range n.Names {
+						if !strings.Contains(vname.Name, "Bucket") || i >= len(n.Values) {
+							continue
+						}
+						if t := info.TypeOf(n.Values[i]); t != nil {
+							if sl, ok := t.Underlying().(*types.Slice); !ok || !isFloat64(sl.Elem()) {
+								continue
+							}
+						}
+						checkBucketExpr(pass, n.Values[i])
+					}
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(report func(Diagnostic)) {
+		byName := make(map[string][]regSite)
+		for _, s := range sites {
+			byName[s.name] = append(byName[s.name], s)
+		}
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ss := byName[n]
+			if len(ss) < 2 {
+				continue
+			}
+			sort.Slice(ss, func(i, j int) bool {
+				if ss[i].pos.Filename != ss[j].pos.Filename {
+					return ss[i].pos.Filename < ss[j].pos.Filename
+				}
+				return ss[i].pos.Line < ss[j].pos.Line
+			})
+			for _, s := range ss[1:] {
+				report(Diagnostic{
+					Analyzer: "metrichygiene",
+					File:     s.pos.Filename, Line: s.pos.Line, Col: s.pos.Column,
+					Message: fmt.Sprintf("metric %q is registered at %s:%d already; a metric name must have exactly one registration site",
+						n, filepath.Base(ss[0].pos.Filename), ss[0].pos.Line),
+				})
+			}
+		}
+	}
+	return a
+}
+
+// registryCallKind returns "Counter", "Gauge" or "Histogram" when the
+// call is a registration on internal/metrics.Registry, else "".
+func registryCallKind(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || !strings.HasSuffix(f.Pkg().Path(), "internal/metrics") {
+		return ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if named := namedPointee(sig.Recv().Type()); named == nil || named.Obj().Name() != "Registry" {
+		return ""
+	}
+	switch f.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return f.Name()
+	}
+	return ""
+}
+
+// checkBucketExpr verifies a []float64 composite literal of constant
+// elements ascends strictly. Non-literal or non-constant bounds are left
+// to the runtime check in internal/metrics.
+func checkBucketExpr(pass *Pass, e ast.Expr) {
+	cl, ok := unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	prev := 0.0
+	havePrev := false
+	for _, el := range cl.Elts {
+		tv, ok := info.Types[el]
+		if !ok || tv.Value == nil {
+			return // not all constant: cannot check statically
+		}
+		v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+		if !ok {
+			return
+		}
+		if havePrev && v <= prev {
+			pass.Reportf(el.Pos(), "histogram bucket bounds must ascend strictly: %v after %v", v, prev)
+		}
+		prev, havePrev = v, true
+	}
+}
+
+// isFloat64 reports whether t is float64.
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}

@@ -1,0 +1,18 @@
+// Package sim is a tcvet test fixture exercising degraded analysis: it
+// parses cleanly but fails the type checker, so the load reports the
+// type error, marks the package Degraded, and syntax-level checks still
+// run. Loaded by the analysis tests only.
+package sim
+
+import "time"
+
+// Stamp must still be flagged by the determinism analyzer in degraded
+// mode.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Broken references an undefined identifier, failing the type check.
+func Broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,78 @@
+// Package sim is a tcvet test fixture for the determinism analyzer. It
+// is loaded by the analysis tests only; the go tool never builds it
+// (testdata directories are invisible to package patterns). The package
+// base name "sim" puts it in the result-affecting set.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Table is keyed by PC, like the simulator's per-address structures.
+type Table map[int]int
+
+// KeysUnsorted lets map-iteration order escape into the returned slice
+// with no sort: a determinism violation.
+func KeysUnsorted(t Table) []int {
+	var out []int
+	for pc := range t {
+		out = append(out, pc)
+	}
+	return out
+}
+
+// KeysSorted collects then sorts: the canonical deterministic idiom,
+// exempt because the sort call follows the loop.
+func KeysSorted(t Table) []int {
+	var out []int
+	for pc := range t {
+		out = append(out, pc)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Harmless only touches loop-local state, so iteration order cannot
+// escape.
+func Harmless(t Table) {
+	for _, v := range t {
+		doubled := v * 2
+		_ = doubled
+	}
+}
+
+// Stamp reads the wall clock: a determinism violation.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from math/rand's shared global source: a determinism
+// violation.
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// Seeded builds a locally-seeded generator; constructors and methods on
+// *rand.Rand are exempt.
+func Seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}
+
+// Timed demonstrates trailing-comment suppression: the directive covers
+// its own line only.
+func Timed() int64 {
+	now := time.Now().UnixNano() //tcvet:ignore determinism fixture: provenance stamp, not simulated state
+	return now
+}
+
+// MergeAnnotated demonstrates standalone-line suppression: the directive
+// covers the line directly below it.
+func MergeAnnotated(t Table, out map[int]int) {
+	//tcvet:ignore determinism fixture: per-key build, no ordering dependence
+	for k, v := range t {
+		out[k] = v
+	}
+}

@@ -1,0 +1,54 @@
+// Package hot is a tcvet test fixture for the hotalloc analyzer: one
+// //tc:hotpath function per allocation source, plus the allowed reuse
+// idioms. Loaded by the analysis tests only.
+package hot
+
+import "fmt"
+
+// State carries preallocated scratch buffers, PR 3 style.
+type State struct {
+	buf  []int
+	out  []int
+	sink any
+}
+
+// Bad exhibits every per-call allocation source the analyzer flags.
+//
+//tc:hotpath
+func (s *State) Bad(vs []int) []int {
+	f := func() int { return 1 }
+	_ = f
+	p := &State{}
+	_ = p
+	tmp := []int{1, 2, 3}
+	_ = tmp
+	m := map[int]int{}
+	_ = m
+	grown := append(vs, 4)
+	s.sink = vs
+	_ = fmt.Sprint()
+	return grown
+}
+
+// Good uses only the allowed reuse forms: growing in place, reslicing a
+// persistent buffer, and panic (whose argument boxes only on the dead
+// path).
+//
+//tc:hotpath
+func (s *State) Good(vs []int) {
+	s.out = append(s.out[:0], vs...)
+	local := append(s.buf[:0], vs...)
+	if len(local) > cap(s.buf) {
+		panic("hot: scratch buffer overflow")
+	}
+}
+
+// Boundary allocates by design — the result outlives the call — and
+// demonstrates declaration-scope suppression: the directive in the doc
+// comment covers the whole declaration.
+//
+//tc:hotpath
+//tcvet:ignore hotalloc fixture: ownership transfer at the boundary
+func (s *State) Boundary(vs []int) *State {
+	return &State{out: append([]int(nil), vs...)}
+}

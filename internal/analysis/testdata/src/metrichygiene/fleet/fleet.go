@@ -1,0 +1,25 @@
+// Package fleet is a tcvet test fixture for the metrichygiene analyzer,
+// registering metrics against the real internal/metrics registry. Loaded
+// by the analysis tests only.
+package fleet
+
+import "tracecache/internal/metrics"
+
+// waitBuckets descends between its last two bounds: a violation caught
+// at the package-level declaration.
+var waitBuckets = []float64{0.01, 0.1, 1, 0.5}
+
+// Register exercises the registration-site checks.
+func Register(r *metrics.Registry) {
+	r.Counter("fleet_ops_total", "Operations started.")
+	r.Counter("fleet-ops-bad", "Name with dashes: not Prometheus-legal.")
+	r.Counter("fleet_ops_total", "Second site for an already-registered name.")
+	r.Histogram("fleet_wait_seconds", "Queue wait.", []float64{1, 2, 2})
+	_ = waitBuckets
+}
+
+// RegisterDynamic computes the metric name at run time, defeating static
+// hygiene checking: a violation.
+func RegisterDynamic(r *metrics.Registry, suffix string) {
+	r.Counter("fleet_"+suffix, "Dynamically named.")
+}

@@ -1,0 +1,56 @@
+// Package obsbus is a tcvet test fixture for the nilsafe analyzer: a
+// //tc:nilsafe type with one compliant method and each way of violating
+// the contract. Loaded by the analysis tests only.
+package obsbus
+
+// Bus is disabled when nil, like obs.Bus.
+//
+//tc:nilsafe
+type Bus struct {
+	n     int
+	sinks []func(int)
+}
+
+// Observer is any event consumer.
+type Observer interface {
+	Count() int
+}
+
+// Count guards the receiver before touching fields: compliant.
+func (b *Bus) Count() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Emit touches a receiver field with no nil guard: a violation.
+func (b *Bus) Emit(v int) {
+	b.n += v
+}
+
+// Len uses a value receiver, which derefs a nil caller: a violation.
+func (b Bus) Len() int {
+	return b.n
+}
+
+// Register boxes the bus into an interface variable: a violation.
+func Register(b *Bus) {
+	var o Observer = b
+	_ = o
+}
+
+// observe consumes any Observer.
+func observe(o Observer) int {
+	return o.Count()
+}
+
+// Watch boxes the bus into an interface parameter: a violation.
+func Watch(b *Bus) int {
+	return observe(b)
+}
+
+// AsObserver boxes the bus through an interface return: a violation.
+func AsObserver(b *Bus) Observer {
+	return b
+}

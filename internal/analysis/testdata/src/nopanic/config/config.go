@@ -1,0 +1,51 @@
+// Package config is a tcvet test fixture for the nopanic analyzer. The
+// package base name "config" puts it in the input-facing set. Loaded by
+// the analysis tests only.
+package config
+
+import "fmt"
+
+// Parse panics directly from an exported entry point: a violation.
+func Parse(s string) int {
+	if s == "" {
+		panic("config: empty input")
+	}
+	return len(s)
+}
+
+// Load reaches a panic through an unexported helper: a violation
+// attributed to Load via validate.
+func Load(s string) (int, error) {
+	return validate(s), nil
+}
+
+func validate(s string) int {
+	if len(s) > 64 {
+		panic("config: oversized input")
+	}
+	return len(s)
+}
+
+// Check returns an error instead of panicking: compliant.
+func Check(s string) error {
+	if s == "" {
+		return fmt.Errorf("config: empty input")
+	}
+	return nil
+}
+
+// MustLen panics by documented Must* contract; the standalone ignore
+// line suppresses the panic directly below it.
+func MustLen(s string) int {
+	if s == "" {
+		//tcvet:ignore nopanic fixture: Must* idiom, panic is the documented contract
+		panic("config: empty input")
+	}
+	return len(s)
+}
+
+// unreachable panics but no exported entry point reaches it, so it is
+// not reported.
+func unreachable() {
+	panic("config: never")
+}

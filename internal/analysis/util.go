@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// internalPkg reports whether the import path is one of the repository's
+// internal packages (or a fixture standing in for one) whose directory
+// base name is in names. Fixture packages under
+// internal/analysis/testdata/src mirror the real layout, so matching on
+// "internal" anywhere in the path covers both.
+func internalPkg(importPath string, names map[string]bool) bool {
+	return strings.Contains(importPath, "internal") && names[path.Base(importPath)]
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// baseIdent chases an assignable expression (x, x.f, x[i], *x) to its
+// base identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it statically
+// invokes, or nil (builtins, function values, conversions, degraded
+// packages).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if obj, ok := info.Uses[id]; ok {
+		b, ok := obj.(*types.Builtin)
+		return ok && b.Name() == name
+	}
+	// Degraded: fall back to the name alone.
+	return true
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxesInterface reports whether assigning an expression of type src to a
+// destination of type dst converts a concrete value into an interface.
+func boxesInterface(dst, src types.Type) bool {
+	if dst == nil || src == nil || !isInterface(dst) {
+		return false
+	}
+	if isInterface(src) {
+		return false
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// namedPointee returns the named type T when t is *T, otherwise nil.
+func namedPointee(t types.Type) *types.Named {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		if alias, ok2 := t.(*types.Alias); ok2 {
+			return namedPointee(types.Unalias(alias))
+		}
+		return nil
+	}
+	named, _ := ptr.Elem().(*types.Named)
+	return named
+}
+
+// qualifiedName renders a named type as "importpath.Name" (empty for
+// types outside any package).
+func qualifiedName(named *types.Named) string {
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// recvTypeName returns the base type identifier of a method receiver
+// (stripping pointer and generic instantiation), plus whether the
+// receiver is a pointer.
+func recvTypeName(fd *ast.FuncDecl) (name *ast.Ident, pointer bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil, false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		pointer = true
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x, pointer
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id, pointer
+		}
+	case *ast.IndexListExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id, pointer
+		}
+	}
+	return nil, pointer
+}

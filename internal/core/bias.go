@@ -45,6 +45,8 @@ func log2(n int) uint {
 
 // Update records a retired branch outcome. A tag mismatch replaces the
 // entry (direct-mapped, tagged).
+//
+//tc:hotpath
 func (b *BiasTable) Update(pc int, taken bool) {
 	i := uint32(pc) & b.mask
 	tag := uint32(pc) >> b.tagShift
@@ -65,6 +67,8 @@ func (b *BiasTable) Update(pc int, taken bool) {
 
 // Lookup returns the recorded direction and consecutive count for the
 // branch, and whether the table holds an entry for it.
+//
+//tc:hotpath
 func (b *BiasTable) Lookup(pc int) (dir bool, count uint32, ok bool) {
 	i := uint32(pc) & b.mask
 	tag := uint32(pc) >> b.tagShift
@@ -80,6 +84,8 @@ func (b *BiasTable) Lookup(pc int) (dir bool, count uint32, ok bool) {
 // or more consecutive outcomes in the direction opposite the promoted one,
 // or if the branch misses in the bias table. (A single opposite outcome —
 // e.g. the final iteration of a loop — does not demote.)
+//
+//tc:hotpath
 func (b *BiasTable) ShouldDemote(pc int, promotedDir bool) bool {
 	dir, count, ok := b.Lookup(pc)
 	if !ok {

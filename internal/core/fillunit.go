@@ -178,6 +178,8 @@ func (f *FillUnit) SetObserver(b *obs.Bus) { f.obs = b }
 
 // Retire feeds one retired instruction to the fill unit. taken is the
 // outcome for conditional branches.
+//
+//tc:hotpath
 func (f *FillUnit) Retire(pc int, in isa.Inst, taken bool) {
 	f.stats.Retired++
 	si := SegInst{PC: pc, Inst: in, Taken: taken}
@@ -209,6 +211,8 @@ func (f *FillUnit) Retire(pc int, in isa.Inst, taken bool) {
 // it per the packing policy when it does not fit. The block is copied into
 // a reusable scratch buffer so the collector buffer can be truncated and
 // refilled in place instead of growing a fresh array per block.
+//
+//tc:hotpath
 func (f *FillUnit) mergeBlock() {
 	blk := append(f.blockScratch[:0], f.block...)
 	f.blockScratch = blk[:0]
@@ -253,6 +257,8 @@ func (f *FillUnit) mergeBlock() {
 
 // packAmount decides how many instructions of an unfitting block to pack
 // into the remaining space.
+//
+//tc:hotpath
 func (f *FillUnit) packAmount(space, blockLen int) int {
 	switch f.cfg.Packing {
 	case PackAtomic:
@@ -285,6 +291,8 @@ func (f *FillUnit) packAmount(space, blockLen int) int {
 // tight backward branch. Note the first trigger compares against the
 // pending length, not against half the segment capacity; the self-check
 // layer and the fill-unit tests pin this exact rule.
+//
+//tc:hotpath
 func (f *FillUnit) packingWorthwhile() bool {
 	unused := f.cfg.MaxInsts - len(f.pending)
 	if unused*2 >= len(f.pending) {
@@ -299,6 +307,7 @@ func (f *FillUnit) packingWorthwhile() bool {
 	return false
 }
 
+//tc:hotpath
 func (f *FillUnit) appendInsts(insts []SegInst) {
 	for _, si := range insts {
 		f.pending = append(f.pending, si)
@@ -314,12 +323,19 @@ func (f *FillUnit) appendInsts(insts []SegInst) {
 }
 
 // finalize writes the pending segment to the trace cache and resets it.
+//
+//tc:hotpath
 func (f *FillUnit) finalize(reason FinalizeReason) {
 	if len(f.pending) == 0 {
 		return
 	}
+	// The segment and its instruction clone outlive the fill unit: they are
+	// handed to the trace cache, which keeps them until eviction. Allocating
+	// here is the ownership transfer, not leakage from the hot loop.
+	//tcvet:ignore hotalloc segment persists in the trace cache; per-finalize allocation is intentional
 	seg := &Segment{
-		Start:    f.pending[0].PC,
+		Start: f.pending[0].PC,
+		//tcvet:ignore hotalloc clone gives the cached segment its own backing array
 		Insts:    append([]SegInst(nil), f.pending...),
 		Reason:   reason,
 		branches: f.pendingBranches,

@@ -56,6 +56,7 @@ func ProfileStaticPromotions(p *program.Program, cfg StaticProfileConfig) map[in
 		return true
 	})
 	out := make(map[int]bool)
+	//tcvet:ignore determinism per-key map build: each PC decided independently, order cannot reach results
 	for pc, t := range counts {
 		if t.total < cfg.MinExecutions {
 			continue

@@ -76,6 +76,7 @@ type seqHeap []ref
 
 func (h seqHeap) Len() int { return len(h) }
 
+//tc:hotpath
 func (h *seqHeap) push(r ref) {
 	*h = append(*h, r)
 	s := *h
@@ -90,6 +91,7 @@ func (h *seqHeap) push(r ref) {
 	}
 }
 
+//tc:hotpath
 func (h *seqHeap) pop() ref {
 	s := *h
 	top := s[0]
@@ -178,6 +180,7 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+//tc:hotpath
 func (e *Engine) slot(seq uint64) *inst { return &e.insts[seq&e.mask] }
 
 // valid reports whether a reference still names a live instruction.
@@ -231,6 +234,8 @@ func (e *Engine) NextSeq() uint64 { return e.tail }
 // returns its sequence number. srcs lists the sequence numbers of the
 // producing instructions still possibly in flight; isLoad/isStore and addr
 // describe memory behaviour; latency is the functional-unit latency.
+//
+//tc:hotpath
 func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, latency int) uint64 {
 	seq := e.tail
 	e.tail++
@@ -263,6 +268,7 @@ func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, late
 				e.storeFree = e.storeFree[:n-1]
 			}
 		}
+		//tcvet:ignore hotalloc list comes from the storeFree free list; backing arrays are recycled across stores
 		e.storesByAddr[addr] = append(list, r)
 	}
 	if in.depCount == 0 {
@@ -272,6 +278,8 @@ func (e *Engine) Dispatch(srcs []uint64, isLoad, isStore bool, addr uint64, late
 }
 
 // schedule queues an event at the given cycle.
+//
+//tc:hotpath
 func (e *Engine) schedule(r ref, at uint64, kind uint8) {
 	if at <= e.cycle {
 		at = e.cycle + 1
@@ -284,6 +292,8 @@ func (e *Engine) schedule(r ref, at uint64, kind uint8) {
 
 // minUnresolvedStore returns the oldest in-flight store whose address is
 // not yet resolved, or ^0 when none.
+//
+//tc:hotpath
 func (e *Engine) minUnresolvedStore() uint64 {
 	for e.pendingStore.Len() > 0 {
 		r := e.pendingStore[0]
@@ -314,6 +324,8 @@ func (e *Engine) recycleStoreList(addr uint64, list []ref) {
 // the load, pruning dead references as it goes. Pruning compacts the list
 // in place — the backing array is kept (or recycled via the free list when
 // the entry empties) so revisited addresses do not reallocate.
+//
+//tc:hotpath
 func (e *Engine) olderStore(addr uint64, loadSeq uint64) *inst {
 	list := e.storesByAddr[addr]
 	n := 0
@@ -341,6 +353,8 @@ func (e *Engine) olderStore(addr uint64, loadSeq uint64) *inst {
 
 // startMemPhase begins a load's memory access (after AGEN and once the
 // memory scheduler allows), scheduling its completion.
+//
+//tc:hotpath
 func (e *Engine) startMemPhase(in *inst) {
 	in.memDone = true
 	r := ref{seq: in.seq, ep: in.ep}
@@ -360,6 +374,8 @@ func (e *Engine) startMemPhase(in *inst) {
 }
 
 // tryStartLoads releases blocked loads permitted by the memory scheduler.
+//
+//tc:hotpath
 func (e *Engine) tryStartLoads() {
 	if e.blockedLoads.Len() == 0 {
 		return
@@ -381,6 +397,8 @@ func (e *Engine) tryStartLoads() {
 }
 
 // complete finishes an instruction and wakes its dependents.
+//
+//tc:hotpath
 func (e *Engine) complete(in *inst) {
 	if in.done {
 		return
@@ -411,6 +429,8 @@ func (e *Engine) complete(in *inst) {
 }
 
 // execute hands an instruction to a functional unit at the current cycle.
+//
+//tc:hotpath
 func (e *Engine) execute(in *inst) {
 	in.started = true
 	r := ref{seq: in.seq, ep: in.ep}
@@ -431,6 +451,8 @@ func (e *Engine) execute(in *inst) {
 // instructions that completed execution this cycle, in ascending order.
 // The returned slice is reused by the next Tick; the caller must consume
 // it before ticking again.
+//
+//tc:hotpath
 func (e *Engine) Tick(cycle uint64) []uint64 {
 	e.cycle = cycle
 	completed := e.completedBuf[:0]
@@ -515,6 +537,8 @@ func (e *Engine) Squash(from uint64) {
 
 // Retire releases the oldest instruction, which must be done. The caller
 // enforces in-order retirement.
+//
+//tc:hotpath
 func (e *Engine) Retire(seq uint64) {
 	in := e.slot(seq)
 	if seq != e.head || !in.live || in.seq != seq || !in.done {

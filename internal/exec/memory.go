@@ -32,6 +32,8 @@ func split(addr uint64) (page, offset uint64) {
 }
 
 // Read returns the word at addr (aligned down to 8 bytes).
+//
+//tc:hotpath
 func (m *Memory) Read(addr uint64) int64 {
 	pg, off := split(addr)
 	if m.lastPtr != nil && m.lastPage == pg {
@@ -46,6 +48,8 @@ func (m *Memory) Read(addr uint64) int64 {
 }
 
 // Write stores v at addr (aligned down to 8 bytes).
+//
+//tc:hotpath
 func (m *Memory) Write(addr uint64, v int64) {
 	pg, off := split(addr)
 	if m.lastPtr != nil && m.lastPage == pg {
@@ -74,6 +78,7 @@ const PageWords = pageWords
 // word contents. Iteration order is unspecified. The words slice aliases
 // live memory; fn must copy what it keeps.
 func (m *Memory) ForEachPage(fn func(page uint64, words []int64)) {
+	//tcvet:ignore determinism per-page callback: the only consumer (checkpoint.Capture) stores pages keyed by page number
 	for pg, p := range m.pages {
 		fn(pg, p[:])
 	}

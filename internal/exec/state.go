@@ -54,6 +54,7 @@ type State struct {
 // image.
 func NewState(p *program.Program) *State {
 	s := &State{prog: p, mem: NewMemory()}
+	//tcvet:ignore determinism disjoint writes: each data word lands at its own address, final image is order-independent
 	for addr, v := range p.Data {
 		s.mem.Write(addr, v)
 	}

@@ -259,9 +259,11 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	if err != nil {
 		return fail(err)
 	}
+	//tcvet:ignore determinism wall-clock telemetry only: queue-wait measurement start, never simulated state
 	queuedAt := time.Now()
 	release := r.acquire()
 	defer release()
+	//tcvet:ignore determinism wall-clock telemetry only: queue-wait histogram and journal, never simulated state
 	res.queueWait = time.Since(queuedAt)
 	if m := r.Metrics; m != nil {
 		m.RunsStarted.Inc()
@@ -270,8 +272,10 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	}
 	r.emit(RunEvent{Phase: RunStarted, Key: key, Config: cfg.Name, Benchmark: bench,
 		QueueWait: res.queueWait})
+	//tcvet:ignore determinism wall-clock telemetry only: run-wall measurement start, never simulated state
 	startedAt := time.Now()
 	defer func() {
+		//tcvet:ignore determinism wall-clock telemetry only: run-wall histogram and journal, never simulated state
 		res.wall = time.Since(startedAt)
 		if m := r.Metrics; m != nil {
 			m.WorkersBusy.Add(-1)

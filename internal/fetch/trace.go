@@ -57,6 +57,8 @@ func NewTraceEngine(cfg TraceConfig) *TraceEngine {
 
 // Fetch implements Engine: a trace cache lookup, falling back to the
 // supporting instruction cache on a miss.
+//
+//tc:hotpath
 func (e *TraceEngine) Fetch(pc int) *Bundle {
 	b := &e.bundle
 	*b = Bundle{Insts: b.Insts[:0]}
@@ -72,6 +74,12 @@ func (e *TraceEngine) Fetch(pc int) *Bundle {
 		if e.obs.Enabled(obs.KindTCMiss) {
 			e.obs.Emit(obs.Event{Kind: obs.KindTCMiss, PC: pc})
 		}
+		// The predictor callback runs only on the trace-cache-miss path.
+		// go build -gcflags=-m: the outer literal does not escape (stack
+		// allocated); only the inner per-branch closure escapes, once per
+		// predicted branch of a miss fill — amortized, and carrying ctx
+		// state that has no fixed-size home.
+		//tcvet:ignore hotalloc miss-path closure; outer literal is stack-allocated per escape analysis
 		e.icf.fetchBlock(b, pc, &e.frontState, func(brPC int) (bool, func(*FetchedInst)) {
 			taken, ctx := e.cfg.MBP.Predict(pc, brPC, e.hist.Reg, 0, 0)
 			return taken, func(fi *FetchedInst) {
@@ -95,6 +103,8 @@ func (e *TraceEngine) Fetch(pc int) *Bundle {
 // predictPathBits precomputes the predicted outcomes of up to three
 // branches for path-associative segment selection. The predictions are
 // pure reads; walkSegment recomputes them identically.
+//
+//tc:hotpath
 func (e *TraceEngine) predictPathBits(pc int) uint8 {
 	var path uint8
 	for slot := 0; slot < e.cfg.MBP.MaxSlots(); slot++ {
@@ -118,6 +128,8 @@ func targetOf(si core.SegInst, taken bool) int {
 // walkSegment issues a hit segment: the multiple branch predictor
 // sequences through the embedded branches; the first disagreement ends the
 // active portion and the remainder issues inactively.
+//
+//tc:hotpath
 func (e *TraceEngine) walkSegment(b *Bundle, seg *core.Segment) {
 	histStart := e.hist.Reg
 	maxSlots := e.cfg.MBP.MaxSlots()

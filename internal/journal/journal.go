@@ -72,7 +72,11 @@ func FromRun(run *stats.Run) Record {
 }
 
 // Writer appends records to an underlying stream, one JSON line each.
-// It is safe for concurrent use.
+// It is safe for concurrent use. A nil *Writer is a valid, permanently-
+// disabled journal: Append discards and Close is a no-op, so listeners
+// can hold an optional writer without guarding every call.
+//
+//tc:nilsafe
 type Writer struct {
 	mu sync.Mutex
 	w  io.Writer
@@ -96,6 +100,9 @@ func OpenFile(path string) (*Writer, error) {
 // outside the lock; the line is written with one Write call so concurrent
 // appends interleave only at record granularity.
 func (w *Writer) Append(rec Record) error {
+	if w == nil {
+		return nil // disabled journal: discard
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -110,9 +117,10 @@ func (w *Writer) Append(rec Record) error {
 	return nil
 }
 
-// Close closes the underlying file, if the writer owns one.
+// Close closes the underlying file, if the writer owns one. A no-op on a
+// nil (disabled) writer.
 func (w *Writer) Close() error {
-	if w.c == nil {
+	if w == nil || w.c == nil {
 		return nil
 	}
 	return w.c.Close()

@@ -61,6 +61,7 @@ func newHistogram(bounds []float64) *Histogram {
 	copy(b, bounds)
 	for i := 1; i < len(b); i++ {
 		if b[i] <= b[i-1] {
+			//tcvet:ignore nopanic programmer invariant: bounds are compiled-in literals, metrichygiene checks ascending order statically
 			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
 		}
 	}
@@ -176,6 +177,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 // name (wrong kind, odd label pairs) is a programming error and panics.
 func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []string) *series {
 	if len(labels)%2 != 0 {
+		//tcvet:ignore nopanic programmer invariant: label pairs are compiled-in literals, metrichygiene checks them statically
 		panic(fmt.Sprintf("metrics: %s: odd label pairs %q", name, labels))
 	}
 	sig := labelSignature(labels)
@@ -187,6 +189,7 @@ func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, 
 			byLabel: make(map[string]*series)}
 		r.families[name] = fam
 	} else if fam.kind != kind {
+		//tcvet:ignore nopanic programmer invariant: a metric name cannot change kind between compiled-in registration sites
 		panic(fmt.Sprintf("metrics: %s already registered as a %s", name, kindNames[fam.kind]))
 	}
 	if s, ok := fam.byLabel[sig]; ok {

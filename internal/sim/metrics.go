@@ -12,7 +12,11 @@ import "tracecache/internal/metrics"
 // pointer that is nil by default, each hot-path site costs one nil check
 // when detached, and counter flushes are batched (per retirement
 // accumulation, one atomic add per metricsFlushPeriod cycles) so the
-// enabled path stays cheap too.
+// enabled path stays cheap too. tcvet's nilsafe analyzer enforces the
+// contract: a *Metrics must never be boxed into an interface, or the
+// simulator's `s.met != nil` fast-path guard stops meaning "detached".
+//
+//tc:nilsafe
 type Metrics struct {
 	// Insts counts committed (retired) instructions on the detailed path,
 	// warmup included; functionally fast-forwarded prefixes are excluded.

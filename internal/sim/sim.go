@@ -334,6 +334,8 @@ func (s *Simulator) growRecords() {
 // rec returns the fetch record with the given ID, which must still be live
 // (referenced by an in-flight instruction, the pending bundle, or the
 // inject queue).
+//
+//tc:hotpath
 func (s *Simulator) rec(id int) *fetchRec { return &s.records[id&s.recMask] }
 
 // TraceCache returns the trace cache (nil for the icache configuration).
@@ -398,6 +400,7 @@ func (s *Simulator) probe() obs.Probe {
 // cache and the bias table left warm — so short runs are not dominated by
 // cold-start effects (the paper ran 41M-500M instructions per benchmark).
 func (s *Simulator) Run() *stats.Run {
+	//tcvet:ignore determinism wall-clock provenance only: run start time for stats.Meta, never simulated state
 	start := time.Now()
 	if ff := s.cfg.FastForwardInsts; ff > s.ffwdDone {
 		delta := ff - s.ffwdDone
@@ -449,6 +452,7 @@ func (s *Simulator) Run() *stats.Run {
 		s.flushMetrics()
 	}
 	s.run.Cycles = s.cycle - s.cycleBase
+	//tcvet:ignore determinism wall-clock provenance only: feeds stats.Meta wall time, never simulated state
 	s.run.Meta = s.buildMeta(start, time.Since(start))
 	if s.coll != nil {
 		s.coll.Finish(s.probe(), s.run.Meta)
@@ -508,6 +512,7 @@ func (s *Simulator) resetStats() {
 // Stats returns the statistics collected so far.
 func (s *Simulator) Stats() *stats.Run { return &s.run }
 
+//tc:hotpath
 func (s *Simulator) stepCycle() {
 	s.retire()
 	if s.haltSeen {
@@ -531,6 +536,7 @@ func (s *Simulator) stepCycle() {
 
 // ---------------------------------------------------------------- retire
 
+//tc:hotpath
 func (s *Simulator) retire() {
 	for n := 0; n < s.cfg.RetireWidth; n++ {
 		seq := s.retireSeq
@@ -548,6 +554,7 @@ func (s *Simulator) retire() {
 	}
 }
 
+//tc:hotpath
 func (s *Simulator) retireInst(d *dyn) {
 	in := d.fi.Inst
 	s.run.Retired++
@@ -629,6 +636,7 @@ func (s *Simulator) retireInst(d *dyn) {
 
 // ---------------------------------------------------------------- resolve
 
+//tc:hotpath
 func (s *Simulator) resolve(completed []uint64) {
 	for _, seq := range completed {
 		d := &s.window[seq&s.mask]
@@ -801,6 +809,8 @@ func (s *Simulator) discardPending(cause stats.CycleClass) {
 // dispatch issues instructions from the inject queue and the pending
 // bundle. It reports whether a bundle began dispatching this cycle after a
 // miss stall.
+//
+//tc:hotpath
 func (s *Simulator) dispatch() bool {
 	// Injected inactive instructions re-enter without consuming fetch or
 	// issue bandwidth: their original fetch already issued them.
@@ -851,6 +861,7 @@ func (s *Simulator) dispatch() bool {
 	return delivered
 }
 
+//tc:hotpath
 func (s *Simulator) dispatchInst(fi fetch.FetchedInst, recID int) {
 	info := s.state.StepAt(fi.PC)
 	snap := s.state.Checkpoint()
@@ -903,6 +914,7 @@ func (s *Simulator) dispatchInst(fi fetch.FetchedInst, recID int) {
 
 // ------------------------------------------------------------------ fetch
 
+//tc:hotpath
 func (s *Simulator) fetch(deliveredThisCycle bool) {
 	switch {
 	case s.haltSeen:
@@ -1013,6 +1025,8 @@ func (s *Simulator) attachInactive(insts []fetch.FetchedInst) {
 
 // maybeFinalize classifies a fetch record once all of its instructions
 // have retired or been squashed.
+//
+//tc:hotpath
 func (s *Simulator) maybeFinalize(id int) {
 	rec := s.rec(id)
 	if rec.finalized || rec.pending > 0 || rec.dispatched == 0 {

@@ -100,6 +100,7 @@ func Analyze(p *program.Program, limit uint64) Analysis {
 		return true
 	})
 	var dyn, biasedDyn uint64
+	//tcvet:ignore determinism commutative reduction: per-site counts sum into totals, order cannot reach results
 	for _, c := range takenBy {
 		total := c[0] + c[1]
 		if total < MinSiteExecs {

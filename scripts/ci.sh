@@ -1,8 +1,8 @@
 #!/bin/sh
-# CI for the tracecache repo: tier-1 build+test, vet, a race pass over the
-# observability layer, the simulator, and the parallel sweep engine, a
-# fast-forward smoke+accuracy step, and a benchmark smoke step so the perf
-# harness stays runnable.
+# CI for the tracecache repo: tier-1 build+test, vet+gofmt+tcvet static
+# gates, a race pass over the observability layer, the simulator, and the
+# parallel sweep engine, a fast-forward smoke+accuracy step, and a
+# benchmark smoke step so the perf harness stays runnable.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,6 +11,13 @@ go build ./...
 
 echo "== go vet =="
 go vet ./...
+
+echo "== gofmt =="
+UNFORMATTED=$(gofmt -l .)
+[ -z "$UNFORMATTED" ] || { echo "FAIL: gofmt needed:"; echo "$UNFORMATTED"; exit 1; }
+
+echo "== tcvet (project static analysis: determinism, hotalloc, nilsafe, nopanic, metrichygiene) =="
+go run ./cmd/tcvet ./...
 
 echo "== go test =="
 go test ./...
