@@ -226,6 +226,120 @@ func BenchmarkFastForwardAccuracy(b *testing.B) {
 	b.ReportMetric(dMisp, "mispredict-delta-pp")
 }
 
+// frontEndSweepConfigs are the five front-end configurations of the
+// replay sweep benchmarks (every pair differs only in front-end axes, so
+// one recording per benchmark serves all of them).
+func frontEndSweepConfigs() []tracecache.Config {
+	return []tracecache.Config{
+		tracecache.BaselineConfig(),
+		tracecache.ICacheConfig(),
+		tracecache.PromotionConfig(64),
+		tracecache.PackingConfig(),
+		tracecache.BestConfig(),
+	}
+}
+
+// frontEndSweep drives the ten-point front-end sweep (five configurations
+// by two benchmarks) through a fresh sequential runner per iteration.
+func frontEndSweep(b *testing.B, replay bool, traceDir string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := tracecache.NewRunner(benchWarmup, benchBudget)
+		r.Workers = 1
+		r.Replay = replay
+		r.TraceDir = traceDir
+		var retired uint64
+		for _, cfg := range frontEndSweepConfigs() {
+			for _, bench := range []string{"gcc", "go"} {
+				run, err := r.RunE(cfg, bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired += run.Retired
+			}
+		}
+		if retired == 0 {
+			b.Fatal("sweep retired nothing")
+		}
+	}
+}
+
+// BenchmarkFrontEndSweepDetailed simulates every point of the front-end
+// sweep cycle-detailed: O(points × budget) detailed work.
+func BenchmarkFrontEndSweepDetailed(b *testing.B) { frontEndSweep(b, false, "") }
+
+// BenchmarkFrontEndSweepReplay resolves the same sweep from recorded
+// retired streams: each benchmark is recorded once outside the timed
+// region (the production workflow — recordings persist across sweeps via
+// Runner.TraceDir), then every point replays through the front end only.
+// The ratio to BenchmarkFrontEndSweepDetailed is the replay speedup
+// recorded in BENCH_perf.json.
+func BenchmarkFrontEndSweepReplay(b *testing.B) {
+	dir := b.TempDir()
+	pre := tracecache.NewRunner(benchWarmup, benchBudget)
+	pre.Workers = 1
+	pre.Replay = true
+	pre.TraceDir = dir
+	for _, bench := range []string{"gcc", "go"} {
+		if _, err := pre.RunE(tracecache.BaselineConfig(), bench); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	frontEndSweep(b, true, dir)
+}
+
+// BenchmarkReplayAccuracy reports the statistical cost of the replay
+// fast path as metrics, mirroring BenchmarkFastForwardAccuracy: the two
+// headline configurations are simulated detailed and replayed from one
+// recording, and the per-statistic deltas are recorded in
+// BENCH_perf.json next to the fast-forward accuracy deltas. The runs are
+// deterministic, so the deltas are exact properties of the replay model
+// (wrong-path absence, fetch-granular boundaries), not noise.
+func BenchmarkReplayAccuracy(b *testing.B) {
+	const bench = "gcc"
+	headline := []struct {
+		label string
+		cfg   tracecache.Config
+	}{
+		{"baseline", tracecache.BaselineConfig()},
+		{"best", tracecache.BestConfig()},
+	}
+	var dEff, dMisp [2]float64
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		rec := tracecache.NewRunner(benchWarmup, benchBudget)
+		rec.Workers = 1
+		rec.Replay = true
+		rec.TraceDir = dir
+		if _, err := rec.RunE(tracecache.BaselineConfig(), bench); err != nil {
+			b.Fatal(err)
+		}
+		det := tracecache.NewRunner(benchWarmup, benchBudget)
+		det.Workers = 1
+		rep := tracecache.NewRunner(benchWarmup, benchBudget)
+		rep.Workers = 1
+		rep.Replay = true
+		rep.TraceDir = dir
+		for j, h := range headline {
+			dRun, err := det.RunE(h.cfg, bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rRun, err := rep.RunE(h.cfg, bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dEff[j] = 100 * (rRun.EffFetchRate() - dRun.EffFetchRate()) / dRun.EffFetchRate()
+			dMisp[j] = 100 * (rRun.CondMispredictRate() - dRun.CondMispredictRate())
+		}
+	}
+	for j, h := range headline {
+		b.ReportMetric(dEff[j], h.label+"-eff-delta-%")
+		b.ReportMetric(dMisp[j], h.label+"-mispredict-delta-pp")
+	}
+}
+
 // BenchmarkHeadline reports the paper's headline comparison as metrics:
 // effective fetch rate of baseline vs promotion+packing.
 func BenchmarkHeadline(b *testing.B) {

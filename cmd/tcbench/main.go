@@ -15,6 +15,7 @@
 //	tcbench -journal runs.jsonl         # persist one record per simulation
 //	tcbench -journal-report runs.jsonl  # summarize a journal, no simulation
 //	tcbench -journal-report old.jsonl,new.jsonl   # diff two journals
+//	tcbench -replay -tracedir traces/   # front-end replay fast path (see DESIGN.md §9)
 //
 // Monitoring and journaling are opt-in, write only to stderr, files and
 // HTTP, and never change the experiment output on stdout.
@@ -53,6 +54,8 @@ func main() {
 		httpAddr = flag.String("http", "", "serve live monitoring on this address (/metrics, /progress, /debug/pprof), e.g. 127.0.0.1:8080")
 		jPath    = flag.String("journal", "", "append one JSONL record per simulation to this file")
 		jReport  = flag.String("journal-report", "", "summarize a journal file and exit (two comma-separated files: diff them)")
+		replay   = flag.Bool("replay", false, "record each benchmark's retired stream once and replay it for every front-end-equivalent point (cycle-domain statistics undefined on replayed points; see DESIGN.md §9)")
+		traceDir = flag.String("tracedir", "", "with -replay, persist and reuse recorded streams in this directory")
 	)
 	flag.Parse()
 
@@ -106,6 +109,8 @@ func main() {
 	r.FastForward = *ffwd
 	r.Workers = *workers
 	r.Check = *check
+	r.Replay = *replay
+	r.TraceDir = *traceDir
 	if *progress {
 		r.Log = os.Stderr
 	}

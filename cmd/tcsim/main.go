@@ -20,6 +20,7 @@ import (
 
 	"tracecache"
 	"tracecache/internal/buildinfo"
+	"tracecache/internal/core"
 	"tracecache/internal/journal"
 	"tracecache/internal/metrics"
 	"tracecache/internal/monitor"
@@ -50,6 +51,9 @@ func main() {
 		check    = flag.Bool("check", false, "run with the self-verification layer (lockstep reference model + invariants); violations exit non-zero")
 		httpAddr = flag.String("http", "", "serve live monitoring on this address (/metrics, /progress, /debug/pprof), e.g. 127.0.0.1:8080")
 		jPath    = flag.String("journal", "", "append one JSONL record for this run to this file")
+		recPath  = flag.String("record", "", "record the retired stream to this file (an existing directory gets the content-addressed name)")
+		repPath  = flag.String("replay", "", "replay a recorded stream through the front end only (cycle-domain stats undefined; see DESIGN.md §9)")
+		repVer   = flag.Bool("replay-verify", false, "record in-memory, replay, and verify replayed statistics against the detailed run; violations exit non-zero")
 	)
 	flag.Parse()
 
@@ -85,10 +89,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *repPath != "" || *repVer {
+		if *check || *recPath != "" || *httpAddr != "" || *tsOut != "" || *trOut != "" {
+			fmt.Fprintln(os.Stderr, "tcsim: -replay/-replay-verify cannot be combined with -check, -record, -http, -timeseries or -trace")
+			os.Exit(1)
+		}
+	}
+	if *repVer {
+		runReplayVerify(cfg, prog)
+		return
+	}
+	if *repPath != "" {
+		runReplay(cfg, prog, *repPath, *asJSON, *jPath)
+		return
+	}
+
 	s, err := tracecache.NewSimulator(cfg, prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	var finishRecording func() error
+	if *recPath != "" {
+		finishRecording, err = attachRecorder(s, *recPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	var coll *obs.Collector
@@ -151,6 +179,12 @@ func main() {
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
 		os.Exit(1)
+	}
+	if finishRecording != nil {
+		if err := finishRecording(); err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if run.Meta != nil {
 		run.Meta.Tool = "tcsim " + buildinfo.Version()
@@ -253,6 +287,12 @@ func writeTrace(c *obs.ChromeTrace, meta *stats.Meta, path string) error {
 }
 
 func report(s *tracecache.Simulator, run *tracecache.Run) {
+	reportParts(run, s.TraceCache(), s.FillUnit())
+}
+
+// reportParts renders the report from its pieces, so the detailed path
+// (a full simulator) and the replay path (front end only) share it.
+func reportParts(run *tracecache.Run, tc *core.TraceCache, fu *core.FillUnit) {
 	fmt.Printf("benchmark %s, configuration %s\n\n", run.Benchmark, run.Config)
 	fmt.Println(textplot.Table([]string{"Metric", "Value"}, [][]string{
 		{"retired instructions", fmt.Sprintf("%d", run.Retired)},
@@ -298,7 +338,7 @@ func report(s *tracecache.Simulator, run *tracecache.Run) {
 	}
 	fmt.Println(textplot.Bars("Fetch cycle accounting (fraction of cycles)", cycLabels, cycVals, 50))
 
-	if tc := s.TraceCache(); tc != nil {
+	if tc != nil {
 		st := tc.Stats()
 		fmt.Println(textplot.Table([]string{"Trace cache", "Value"}, [][]string{
 			{"lookups", fmt.Sprintf("%d", st.Lookups)},
@@ -308,7 +348,7 @@ func report(s *tracecache.Simulator, run *tracecache.Run) {
 			{"demotion invalidations", fmt.Sprintf("%d", st.Demotions)},
 		}))
 	}
-	if fu := s.FillUnit(); fu != nil {
+	if fu != nil {
 		st := fu.Stats()
 		fmt.Println(textplot.Table([]string{"Fill unit", "Value"}, [][]string{
 			{"segments built", fmt.Sprintf("%d", st.Segments)},

@@ -13,7 +13,7 @@ import (
 // registrations all flow in through them.
 var noPanicPkgs = map[string]bool{
 	"config": true, "cache": true, "core": true,
-	"experiments": true, "journal": true, "metrics": true,
+	"experiments": true, "journal": true, "metrics": true, "trace": true,
 }
 
 // NoPanic flags panic calls reachable from exported entry points of the

@@ -61,9 +61,13 @@ const (
 	LayerStructural
 	// LayerConservation is the end-of-run statistics identities.
 	LayerConservation
+	// LayerReplay is the replay-fidelity comparison: a front-end-only
+	// replay of a recorded retired stream against the detailed run that
+	// produced it (CompareReplay).
+	LayerReplay
 )
 
-var layerNames = [...]string{"lockstep", "structural", "conservation"}
+var layerNames = [...]string{"lockstep", "structural", "conservation", "replay"}
 
 // String names the layer.
 func (l Layer) String() string {
@@ -105,6 +109,16 @@ var Approximations = map[string]string{
 		"the segment capacity; the checker verifies the implemented rule, which is what " +
 		"every committed number was produced with (see the fill-unit tests pinning both " +
 		"trigger conditions)",
+	"replay/counts": "replay cuts the warmup and budget boundaries at fetch-bundle " +
+		"granularity while the detailed machine cuts them at retire-burst granularity, " +
+		"so the near-exact counters (retired, branch/jump/return populations, promoted " +
+		"faults) carry an absolute slack of a few bundles rather than exact equality",
+	"replay/rates": "the replay issues no wrong-path fetches and trains predictors at " +
+		"replay commit rather than retire-lagged, so effective fetch rate and mispredict " +
+		"rate are bounded within documented percentage envelopes; the trace cache hit " +
+		"rate carries the widest bound because the detailed machine's lookup population " +
+		"includes every wrong-path fetch (a different denominator, measured 11-27pp " +
+		"apart on the standard workloads)",
 }
 
 // maxViolations bounds the recorded violation list; Total keeps counting

@@ -195,6 +195,11 @@ func (s TraceCacheStats) HitRate() float64 {
 type tcWay struct {
 	seg *Segment
 	lru uint64
+	// sig/nsig cache seg.PathSig() under path associativity: a resident
+	// segment is immutable (demotion invalidates whole lines), so the
+	// signature computed at insert stays valid for the segment's lifetime.
+	sig  uint8
+	nsig int
 }
 
 // TraceCache stores trace segments indexed by starting fetch address. In
@@ -276,21 +281,24 @@ func (t *TraceCache) Insert(seg *Segment) {
 	t.clock++
 	t.stats.Inserts++
 	set := t.sets[uint32(seg.Start)&t.mask]
-	sig, nsig := seg.PathSig()
+	var sig uint8
+	var nsig int
+	if t.pathAssoc {
+		// The signature is only consulted under path associativity; it is
+		// computed once here and cached in the way for LookupPath.
+		sig, nsig = seg.PathSig()
+	}
 	victim := 0
 	for i := range set {
 		if set[i].seg != nil && set[i].seg.Start == seg.Start {
-			if t.pathAssoc {
-				osig, on := set[i].seg.PathSig()
-				if osig != sig || on != nsig {
-					continue // a different path may stay resident
-				}
+			if t.pathAssoc && (set[i].sig != sig || set[i].nsig != nsig) {
+				continue // a different path may stay resident
 			}
 			if set[i].seg != seg {
 				t.stats.Overwrites++
 			}
 			t.livePromoted += seg.NumPromoted() - set[i].seg.NumPromoted()
-			set[i] = tcWay{seg: seg, lru: t.clock}
+			set[i] = tcWay{seg: seg, lru: t.clock, sig: sig, nsig: nsig}
 			return
 		}
 		if set[i].seg == nil {
@@ -304,7 +312,7 @@ func (t *TraceCache) Insert(seg *Segment) {
 		t.livePromoted -= set[victim].seg.NumPromoted()
 	}
 	t.livePromoted += seg.NumPromoted()
-	set[victim] = tcWay{seg: seg, lru: t.clock}
+	set[victim] = tcWay{seg: seg, lru: t.clock, sig: sig, nsig: nsig}
 }
 
 // LookupPath returns the resident segment starting at start whose embedded
@@ -321,8 +329,7 @@ func (t *TraceCache) LookupPath(start int, path uint8) *Segment {
 		if set[i].seg == nil || set[i].seg.Start != start {
 			continue
 		}
-		sig, n := set[i].seg.PathSig()
-		l := matchLen(sig, path, n)
+		l := matchLen(set[i].sig, path, set[i].nsig)
 		if l > bestLen || (l == bestLen && best >= 0 && set[i].lru > set[best].lru) {
 			best, bestLen = i, l
 		}

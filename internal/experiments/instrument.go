@@ -85,7 +85,7 @@ func MultiListener(ls ...func(RunEvent)) func(RunEvent) {
 // one RunnerMetrics serves any number of concurrent sweeps; the identities
 //
 //	MemoMisses == RunsCompleted + RunsFailed (every miss simulates)
-//	RunsCompleted == CheckpointForks + ColdStarts
+//	RunsCompleted == CheckpointForks + ColdStarts + Replays
 //
 // hold whenever the runner is quiescent.
 type RunnerMetrics struct {
@@ -95,9 +95,10 @@ type RunnerMetrics struct {
 	// MemoHits counts requests resolved by singleflight sharing;
 	// MemoMisses counts requests that had to simulate.
 	MemoHits, MemoMisses *metrics.Counter
-	// CheckpointForks and ColdStarts partition completed simulations by
-	// provenance: restored from a shared warm checkpoint vs. from scratch.
-	CheckpointForks, ColdStarts *metrics.Counter
+	// CheckpointForks, ColdStarts and Replays partition completed runs by
+	// provenance: restored from a shared warm checkpoint, simulated from
+	// scratch, or resolved by the front-end replay fast path.
+	CheckpointForks, ColdStarts, Replays *metrics.Counter
 	// WorkersBusy is the current worker-pool occupancy; WorkersLimit is
 	// the pool size (set when the pool is created).
 	WorkersBusy, WorkersLimit *metrics.Gauge
@@ -127,6 +128,8 @@ func InstrumentRunner(r *metrics.Registry) *RunnerMetrics {
 			"Completed simulations whose prefix was restored from a shared warm checkpoint."),
 		ColdStarts: r.Counter("tracecache_runner_cold_starts_total",
 			"Completed simulations executed from scratch."),
+		Replays: r.Counter("tracecache_runner_replays_total",
+			"Completed runs resolved by the front-end replay fast path."),
 		WorkersBusy: r.Gauge("tracecache_runner_workers_busy",
 			"Worker slots currently held by executing simulations."),
 		WorkersLimit: r.Gauge("tracecache_runner_workers_limit",

@@ -23,6 +23,7 @@
 package experiments
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
+	"tracecache/internal/trace"
 	"tracecache/internal/workload"
 )
 
@@ -66,6 +68,24 @@ type Runner struct {
 	// statistic; a run that reports violations fails with an error
 	// carrying the violation report. Set before the first Run call.
 	Check bool
+	// Replay enables the front-end replay fast path: the first simulation
+	// of each benchmark runs detailed with the retired-stream recorder
+	// attached, and every later point whose configuration differs from
+	// the recording only in front-end axes (sim.FrontEndEquivalent) is
+	// replayed from the stream instead of simulated — producing front-end
+	// statistics with stats.ProvReplay provenance and zero cycle-domain
+	// statistics, within the fidelity envelope of check.CompareReplay
+	// (see DESIGN.md §9). Points that vary core-side axes, and all runs
+	// when Check is set, bypass replay and simulate detailed. Under
+	// Workers > 1 which point records is completion-order dependent;
+	// every simulated statistic of each individual point is still
+	// deterministic. Set before the first Run call.
+	Replay bool
+	// TraceDir, when non-empty with Replay, persists recordings under
+	// content-addressed names so later processes replay every point,
+	// recording each benchmark exactly once across process lifetimes.
+	// Set before the first Run call.
+	TraceDir string
 	// Metrics, when non-nil, receives fleet-level counters for every run
 	// request (see RunnerMetrics); r.Metrics.Sim is attached to every
 	// simulator the runner builds. Instrumentation changes no simulated
@@ -86,9 +106,10 @@ type Runner struct {
 
 	logMu sync.Mutex
 
-	mu   sync.Mutex
-	sem  chan struct{} // sized from Workers on first use
-	runs map[string]*runEntry
+	mu     sync.Mutex
+	sem    chan struct{} // sized from Workers on first use
+	runs   map[string]*runEntry
+	traces map[string]*traceEntry // per-benchmark recordings (Replay)
 }
 
 // runEntry is one singleflight memoization slot: done closes once run/err
@@ -216,6 +237,8 @@ func (r *Runner) shared(cfg sim.Config, bench string, prep func(*sim.Config, *pr
 			switch res.provenance {
 			case stats.ProvCheckpointFork:
 				m.CheckpointForks.Inc()
+			case stats.ProvReplay:
+				m.Replays.Inc()
 			default:
 				m.ColdStarts.Inc()
 			}
@@ -289,6 +312,44 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	cfg.MaxInsts = r.Budget
 	cfg.FastForwardInsts = r.FastForward
 	cfg.Check = r.Check
+
+	// Replay fast path: the benchmark's first request resolves the shared
+	// recording (from TraceDir or by recording during its own detailed
+	// run); every front-end-equivalent point after that replays it.
+	var rec *traceEntry
+	if r.Replay && !r.Check {
+		te, creator := r.traceEntryFor(bench)
+		if creator {
+			if h, recs, ok := r.loadTrace(cfg, prog); ok {
+				te.hdr, te.recs, te.coreHash = h, recs, h.CoreHash
+				close(te.done)
+			} else {
+				rec = te
+				defer func() {
+					// Backstop for error and panic exits: resolve the entry
+					// so waiters fall back to detailed simulation.
+					if rec != nil {
+						rec.err = errRecordingIncomplete(key)
+						close(rec.done)
+						rec = nil
+					}
+				}()
+			}
+		} else {
+			<-te.done
+		}
+		if rec == nil && te.err == nil && len(te.recs) > 0 && te.coreHash == cfg.CoreHash() {
+			r.logf("replaying %s...\n", key)
+			run, err := replayTrace(cfg, prog, te.hdr, te.recs)
+			if err != nil {
+				return fail(err)
+			}
+			res.run = run
+			res.provenance = stats.ProvReplay
+			return res
+		}
+	}
+
 	s, err := sim.New(cfg, prog)
 	if err != nil {
 		return fail(err)
@@ -301,11 +362,26 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 			s.AttachObserver(bus)
 		}
 	}
+	var recBuf bytes.Buffer
+	var recW *trace.Writer
+	var recHdr trace.Header
+	if rec != nil {
+		recHdr = s.TraceHeader("commit-tap")
+		w, err := trace.NewWriter(&recBuf, recHdr)
+		if err != nil {
+			return fail(err)
+		}
+		recW = w
+		s.AttachRecorder(recW)
+	}
 	res.provenance = stats.ProvCold
-	if r.FastForward > 0 {
+	if r.FastForward > 0 && recW == nil {
 		// The capture itself is memoized process-wide; the first arrival
 		// captures (under its worker slot), later arrivals block on the
 		// OnceValues and then restore, which is a cheap copy.
+		// A recording run skips the restore: the stream must start at the
+		// program entry, so it fast-forwards functionally under the tap
+		// (cfg.FastForwardInsts is set) and its provenance stays cold.
 		cp, err := workload.SharedCheckpoint(bench, r.FastForward)
 		if err != nil {
 			return fail(err)
@@ -320,6 +396,19 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	if chk := s.Checker(); chk != nil && chk.Total() > 0 {
 		res.run = nil
 		return fail(fmt.Errorf("%s", chk.Report()))
+	}
+	if recW != nil {
+		if err := recW.Close(); err != nil {
+			rec.err = fmt.Errorf("experiments: %s: recording: %w", key, err)
+		} else if h, recs, err := trace.ReadAll(recBuf.Bytes()); err != nil {
+			rec.err = fmt.Errorf("experiments: %s: recording: %w", key, err)
+		} else {
+			rec.hdr, rec.recs = h, recs
+			rec.coreHash = cfg.CoreHash()
+			r.saveTrace(key, recBuf.Bytes(), recHdr)
+		}
+		close(rec.done)
+		rec = nil
 	}
 	return res
 }

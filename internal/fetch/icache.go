@@ -54,19 +54,22 @@ func (f *icacheFetcher) fetchBlock(b *Bundle, pc int, fs *frontState, predictBr 
 			line, crossed = l, true
 		}
 		in := code[pc]
-		fi := FetchedInst{
+		// Construct in place: the bundle slice is the instruction's only
+		// home, so the hot loop never copies a FetchedInst by value.
+		b.Insts = append(b.Insts, FetchedInst{
 			PC: pc, Inst: in,
 			BlockStart: len(b.Insts) == 0,
 			HistBefore: fs.hist.Reg,
 			RASBefore:  fs.ras,
 			PredTarget: pc + 1,
-		}
+		})
+		fi := &b.Insts[len(b.Insts)-1]
 		stop := false
 		switch {
 		case in.IsCondBranch():
 			taken, annotate := predictBr(pc)
 			fi.Predicted = taken
-			annotate(&fi)
+			annotate(fi)
 			fs.hist.Push(taken)
 			if taken {
 				fi.PredTarget = in.Target
@@ -92,7 +95,6 @@ func (f *icacheFetcher) fetchBlock(b *Bundle, pc int, fs *frontState, predictBr 
 			b.EndsInSerial = true
 			stop = true
 		}
-		b.Insts = append(b.Insts, fi)
 		b.NextPC = fi.PredTarget
 		pc++
 		if stop {

@@ -118,7 +118,7 @@ func (e *TraceEngine) predictPathBits(pc int) uint8 {
 
 // targetOf returns the PC following a conditional branch given a
 // direction.
-func targetOf(si core.SegInst, taken bool) int {
+func targetOf(si *core.SegInst, taken bool) int {
 	if taken {
 		return si.Inst.Target
 	}
@@ -140,15 +140,21 @@ func (e *TraceEngine) walkSegment(b *Bundle, seg *core.Segment) {
 		blockStart = true
 	)
 	for i := range seg.Insts {
-		si := seg.Insts[i]
-		fi := FetchedInst{
+		si := &seg.Insts[i]
+		if diverged && e.cfg.DisableInactiveIssue {
+			break
+		}
+		// Construct in place: the bundle slice is the instruction's only
+		// home, so the hot loop never copies a FetchedInst by value.
+		b.Insts = append(b.Insts, FetchedInst{
 			PC: si.PC, Inst: si.Inst,
 			BlockStart: blockStart,
 			Inactive:   diverged,
 			HistBefore: e.hist.Reg,
 			RASBefore:  e.ras,
 			PredTarget: si.PC + 1,
-		}
+		})
+		fi := &b.Insts[len(b.Insts)-1]
 		blockStart = false
 		switch {
 		case si.Inst.IsCondBranch() && !si.Promoted:
@@ -207,10 +213,6 @@ func (e *TraceEngine) walkSegment(b *Bundle, seg *core.Segment) {
 				b.EndsInSerial = true
 			}
 		}
-		if fi.Inactive && e.cfg.DisableInactiveIssue {
-			break
-		}
-		b.Insts = append(b.Insts, fi)
 		if !diverged {
 			b.NextPC = fi.PredTarget
 		}

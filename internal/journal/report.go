@@ -63,8 +63,9 @@ func Report(recs []Record, truncatedTail bool) string {
 		}
 	}
 	fmt.Fprintf(&sb, "journal: %d records (%d ok, %d failed)\n", len(recs), ok, failed)
-	fmt.Fprintf(&sb, "provenance: %d cold, %d checkpoint-fork, %d memoized\n",
-		prov[stats.ProvCold], prov[stats.ProvCheckpointFork], prov[stats.ProvMemoized])
+	fmt.Fprintf(&sb, "provenance: %d cold, %d checkpoint-fork, %d replay, %d memoized\n",
+		prov[stats.ProvCold], prov[stats.ProvCheckpointFork], prov[stats.ProvReplay],
+		prov[stats.ProvMemoized])
 	if wallMs > 0 {
 		fmt.Fprintf(&sb, "simulated: %d measured insts in %.1fs slot wall (%.0f insts/s)\n",
 			retired, wallMs/1000, float64(retired)/(wallMs/1000))

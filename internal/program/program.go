@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tracecache/internal/isa"
 )
@@ -24,6 +25,12 @@ type Program struct {
 	// Symbols maps instruction indices to labels (function entries, loop
 	// heads) for disassembly output.
 	Symbols map[int]string
+
+	// hashOnce/hashVal memoize Hash: programs are immutable after
+	// construction (execution state copies Data; symbols are excluded),
+	// and trace eligibility checks hash on every sweep point.
+	hashOnce sync.Once
+	hashVal  uint64
 }
 
 // New returns an empty program with initialized maps.
@@ -57,6 +64,50 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("program %q: no halt instruction", p.Name)
 	}
 	return nil
+}
+
+// Hash returns a content hash of the program: FNV-64a over the code
+// segment, entry point, and initial data image (symbols and the display
+// name are excluded — they do not affect execution). Two programs with
+// equal hashes produce the same retired instruction stream for the same
+// budget, which is what the trace store keys on. The hash is computed
+// once and memoized; the program must not change after the first call.
+func (p *Program) Hash() uint64 {
+	p.hashOnce.Do(func() { p.hashVal = p.hashContent() })
+	return p.hashVal
+}
+
+func (p *Program) hashContent() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(p.Entry))
+	mix(uint64(len(p.Code)))
+	for _, in := range p.Code {
+		mix(uint64(in.Op) | uint64(in.Cond)<<8 | uint64(in.Rd)<<16 |
+			uint64(in.Rs1)<<24 | uint64(in.Rs2)<<32)
+		mix(uint64(in.Imm))
+		mix(uint64(in.Target))
+	}
+	addrs := make([]uint64, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		mix(a)
+		mix(uint64(p.Data[a]))
+	}
+	return h
 }
 
 // Label records a symbol for the given instruction index.

@@ -141,6 +141,43 @@ func (c Config) Hash() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// clearFrontEnd zeroes every front-end axis of a copy of the
+// configuration — the fetch mechanism selector, trace cache and fill/
+// packing/promotion policy, the branch and indirect predictors, the
+// supporting icache, the fetch width and the inactive-issue ablation —
+// along with the display name and the Check toggle. What remains (core,
+// data-side memory hierarchy, penalties, budgets) is exactly what a
+// front-end-only replay cannot vary.
+func clearFrontEnd(c Config) Config {
+	c.Name = ""
+	c.Front = 0
+	c.TC = core.TraceCacheConfig{}
+	c.Fill = core.FillConfig{}
+	c.SplitMBP = false
+	c.DisableInactiveIssue = false
+	c.SingleHybrid = false
+	c.FetchWidth = 0
+	c.TreeEntries = 0
+	c.SplitSizes = [3]int{}
+	c.IndirectEntries = 0
+	c.ICacheBytes = 0
+	c.Check = false
+	return c
+}
+
+// CoreHash digests the configuration with every front-end axis cleared
+// (see clearFrontEnd). Recordings carry the recording config's CoreHash
+// so replay eligibility can assert a sweep point differs from the
+// recording only in axes the replay actually exercises.
+func (c Config) CoreHash() string { return clearFrontEnd(c).Hash() }
+
+// FrontEndEquivalent reports whether two configurations differ only in
+// front-end axes (and the display name). A recorded retired stream from
+// one is a valid replay input for the other: the committed path depends
+// only on the program and the instruction budget, and every non-front-end
+// parameter that could make a detailed comparison unfair is equal.
+func FrontEndEquivalent(a, b Config) bool { return a.CoreHash() == b.CoreHash() }
+
 // cacheConfigs returns the memory-hierarchy geometries the configuration
 // implies; New builds them and Validate vets them.
 func (c Config) cacheConfigs() [3]cache.Config {

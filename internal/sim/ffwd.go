@@ -39,6 +39,11 @@ func (s *Simulator) ApplyCheckpoint(cp *checkpoint.Checkpoint) error {
 	if s.cycle != 0 || s.ffwdDone != 0 || s.run.Retired != 0 {
 		return fmt.Errorf("sim: ApplyCheckpoint on a running simulator")
 	}
+	if s.trc != nil {
+		// The checkpointed prefix was committed by another simulator; this
+		// one's tap would record a stream with the prefix missing.
+		return fmt.Errorf("sim: cannot record a trace across a checkpoint restore")
+	}
 	if err := cp.Restore(s.state); err != nil {
 		return err
 	}
@@ -94,6 +99,9 @@ func (s *Simulator) fastForward(n uint64) {
 			break
 		}
 		done++
+		if s.trc != nil {
+			s.recordRetire(pc, info.Inst, info.Taken, info.NextPC, info.MemAddr)
+		}
 		// The committed path never rolls back: run with an empty undo log.
 		s.state.CompactTo(s.state.Checkpoint())
 		if line := pc / lineInsts; line != lastLine {

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"tracecache/internal/bpred"
+	"tracecache/internal/cache"
+	"tracecache/internal/core"
+	"tracecache/internal/fetch"
+	"tracecache/internal/program"
+)
+
+// frontEnd bundles the fetch-path structures — cache hierarchy, indirect
+// predictor, trace cache, fill unit, multiple-branch/hybrid predictor and
+// fetch engine — shared by the detailed simulator and the replay engine.
+// Everything here is driven purely by fetch requests and the retired
+// stream, which is what makes a front-end-only replay possible: Replayer
+// runs exactly these structures with no execution core attached.
+type frontEnd struct {
+	hier *cache.Hierarchy
+	ind  *bpred.IndirectPredictor
+	tc   *core.TraceCache
+	fill *core.FillUnit
+	mbp  bpred.MultiPredictor
+	hyb  *bpred.Hybrid
+	fe   fetch.Engine
+}
+
+// newFrontEnd builds the front end the configuration describes.
+func newFrontEnd(cfg Config, prog *program.Program) (*frontEnd, error) {
+	f := &frontEnd{}
+	ccs := cfg.cacheConfigs()
+	l1i, err := cache.New(ccs[0])
+	if err != nil {
+		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
+	}
+	l1d, err := cache.New(ccs[1])
+	if err != nil {
+		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
+	}
+	l2, err := cache.New(ccs[2])
+	if err != nil {
+		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
+	}
+	f.hier = &cache.Hierarchy{L1I: l1i, L1D: l1d, L2: l2}
+	f.ind = bpred.NewIndirectPredictor(cfg.IndirectEntries)
+	switch cfg.Front {
+	case FrontTrace:
+		tc, err := core.NewTraceCache(cfg.TC)
+		if err != nil {
+			return nil, err
+		}
+		f.tc = tc
+		f.fill = core.NewFillUnit(cfg.Fill, tc)
+		switch {
+		case cfg.SingleHybrid:
+			f.mbp = bpred.NewSingleHybridMBP(bpred.NewHybrid())
+		case cfg.SplitMBP:
+			f.mbp = bpred.NewSplitMBP(cfg.SplitSizes[0], cfg.SplitSizes[1], cfg.SplitSizes[2])
+		default:
+			f.mbp = bpred.NewTreeMBP(cfg.TreeEntries)
+		}
+		f.fe = fetch.NewTraceEngine(fetch.TraceConfig{
+			Prog: prog, TC: tc, MBP: f.mbp, Indirect: f.ind, Hier: f.hier,
+			MaxWidth:             cfg.FetchWidth,
+			PathAssoc:            cfg.TC.PathAssoc,
+			DisableInactiveIssue: cfg.DisableInactiveIssue,
+		})
+	default:
+		f.hyb = bpred.NewHybrid()
+		f.fe = fetch.NewICacheEngine(fetch.ICacheConfig{
+			Prog: prog, Hier: f.hier, Hybrid: f.hyb, Indirect: f.ind,
+			MaxWidth: cfg.FetchWidth,
+		})
+	}
+	return f, nil
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -17,6 +16,7 @@ import (
 	"tracecache/internal/obs"
 	"tracecache/internal/program"
 	"tracecache/internal/stats"
+	"tracecache/internal/trace"
 )
 
 // dyn is the simulator's view of one in-flight dynamic instruction,
@@ -163,6 +163,10 @@ type Simulator struct {
 	// so the unchecked path costs one nil comparison per site.
 	chk *check.Checker
 
+	// trc is the retired-stream recording tap (AttachRecorder); nil by
+	// default, so the detached path costs one nil comparison per commit.
+	trc *trace.Writer
+
 	// Fast-forward bookkeeping: committed instructions executed
 	// functionally before the cycle loop (stepped by fastForward or
 	// restored via ApplyCheckpoint).
@@ -183,51 +187,14 @@ func New(cfg Config, prog *program.Program) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg, prog: prog, state: exec.NewState(prog), pendingBrIdx: -1}
-	ccs := cfg.cacheConfigs()
-	l1i, err := cache.New(ccs[0])
+	f, err := newFrontEnd(cfg, prog)
 	if err != nil {
-		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
+		return nil, err
 	}
-	l1d, err := cache.New(ccs[1])
-	if err != nil {
-		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
-	}
-	l2, err := cache.New(ccs[2])
-	if err != nil {
-		return nil, fmt.Errorf("sim %q: %w", cfg.Name, err)
-	}
-	s.hier = &cache.Hierarchy{L1I: l1i, L1D: l1d, L2: l2}
+	s.hier, s.ind = f.hier, f.ind
+	s.tc, s.fill = f.tc, f.fill
+	s.mbp, s.hyb, s.fe = f.mbp, f.hyb, f.fe
 	s.eng = engine.New(cfg.Engine, s.hier)
-	s.ind = bpred.NewIndirectPredictor(cfg.IndirectEntries)
-	switch cfg.Front {
-	case FrontTrace:
-		tc, err := core.NewTraceCache(cfg.TC)
-		if err != nil {
-			return nil, err
-		}
-		s.tc = tc
-		s.fill = core.NewFillUnit(cfg.Fill, tc)
-		switch {
-		case cfg.SingleHybrid:
-			s.mbp = bpred.NewSingleHybridMBP(bpred.NewHybrid())
-		case cfg.SplitMBP:
-			s.mbp = bpred.NewSplitMBP(cfg.SplitSizes[0], cfg.SplitSizes[1], cfg.SplitSizes[2])
-		default:
-			s.mbp = bpred.NewTreeMBP(cfg.TreeEntries)
-		}
-		s.fe = fetch.NewTraceEngine(fetch.TraceConfig{
-			Prog: prog, TC: tc, MBP: s.mbp, Indirect: s.ind, Hier: s.hier,
-			MaxWidth:             cfg.FetchWidth,
-			PathAssoc:            cfg.TC.PathAssoc,
-			DisableInactiveIssue: cfg.DisableInactiveIssue,
-		})
-	default:
-		s.hyb = bpred.NewHybrid()
-		s.fe = fetch.NewICacheEngine(fetch.ICacheConfig{
-			Prog: prog, Hier: s.hier, Hybrid: s.hyb, Indirect: s.ind,
-			MaxWidth: cfg.FetchWidth,
-		})
-	}
 	size := 1
 	for size < 2*cfg.Engine.Window() {
 		size <<= 1
@@ -571,6 +538,9 @@ func (s *Simulator) retireInst(d *dyn) {
 			MemAddr: d.memAddr, MemVal: d.memVal,
 			HasDest: d.hasDest, DestReg: d.destReg, DestVal: d.destVal,
 		})
+	}
+	if s.trc != nil {
+		s.recordRetire(d.fi.PC, in, d.taken, d.nextPC, d.memAddr)
 	}
 	if s.fill != nil {
 		if d.alignFill {

@@ -10,6 +10,10 @@ const (
 	// ProvMemoized marks a result shared from a runner's singleflight
 	// memo: the request it describes simulated nothing.
 	ProvMemoized = "memoized"
+	// ProvReplay marks a result produced by the front-end-only replay
+	// engine over a recorded retired stream: no execution core ran, and
+	// cycle-domain statistics are undefined (see DESIGN.md §9).
+	ProvReplay = "replay"
 )
 
 // Meta records the provenance of one run so serialized results (summary

@@ -18,7 +18,7 @@ BENCHTIME="${BENCHTIME:-3x}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run xxx -bench 'SimulatorThroughput|Suite|WarmupSweep|FastForwardAccuracy' \
+go test -run xxx -bench 'SimulatorThroughput|Suite|WarmupSweep|FastForwardAccuracy|FrontEndSweep|ReplayAccuracy' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
 
 # pick BENCH UNIT: prints the value whose following field is UNIT on the
@@ -41,15 +41,23 @@ CKPT_NS="$(pick WarmupSweepCheckpointed 'ns/op')"
 IPC_DELTA="$(pick FastForwardAccuracy 'ipc-delta-%')"
 EFF_DELTA="$(pick FastForwardAccuracy 'effrate-delta-%')"
 MISP_DELTA="$(pick FastForwardAccuracy 'mispredict-delta-pp')"
+FES_DET_NS="$(pick FrontEndSweepDetailed 'ns/op')"
+FES_REP_NS="$(pick FrontEndSweepReplay 'ns/op')"
+REP_BASE_EFF="$(pick ReplayAccuracy 'baseline-eff-delta-%')"
+REP_BASE_MISP="$(pick ReplayAccuracy 'baseline-mispredict-delta-pp')"
+REP_BEST_EFF="$(pick ReplayAccuracy 'best-eff-delta-%')"
+REP_BEST_MISP="$(pick ReplayAccuracy 'best-mispredict-delta-pp')"
 
 if [ -z "$INSTS_S" ] || [ -z "$SEQ_NS" ] || [ -z "$PAR_NS" ] ||
 	[ -z "$DET_NS" ] || [ -z "$CKPT_NS" ] || [ -z "$IPC_DELTA" ] ||
-	[ -z "$CHK_INSTS_S" ]; then
+	[ -z "$CHK_INSTS_S" ] || [ -z "$FES_DET_NS" ] || [ -z "$FES_REP_NS" ] ||
+	[ -z "$REP_BASE_EFF" ] || [ -z "$REP_BEST_EFF" ]; then
 	echo "bench.sh: failed to parse benchmark output" >&2
 	exit 1
 fi
 
 SPEEDUP="$(awk -v s="$SEQ_NS" -v p="$PAR_NS" 'BEGIN { printf "%.2f", s / p }')"
+REPLAY_SPEEDUP="$(awk -v d="$FES_DET_NS" -v r="$FES_REP_NS" 'BEGIN { printf "%.2f", d / r }')"
 CHK_SLOWDOWN="$(awk -v p="$INSTS_S" -v c="$CHK_INSTS_S" 'BEGIN { printf "%.2f", p / c }')"
 FF_SPEEDUP="$(awk -v d="$DET_NS" -v c="$CKPT_NS" 'BEGIN { printf "%.2f", d / c }')"
 GOVER="$(go env GOVERSION)"
@@ -65,7 +73,14 @@ cat > BENCH_perf.json <<EOF
     "benchmark": "BenchmarkSimulatorThroughput",
     "insts_per_sec": $INSTS_S,
     "bytes_per_op": $BYTES_OP,
-    "allocs_per_op": $ALLOCS_OP
+    "allocs_per_op": $ALLOCS_OP,
+    "alternating_check_2026_08_08": {
+      "note": "frozen cross-check from the record/replay PR: head vs the tree immediately before it, alternating prebuilt test binaries, 4 rounds of -benchtime 5x each, min-of-rounds (PR-6 methodology). The front-end copy-elimination landed with replay also speeds up the detailed simulator.",
+      "pre_pr_ns_per_op_min": 242915894,
+      "head_ns_per_op_min": 232101544,
+      "pre_pr_allocs_per_op": 104086,
+      "head_allocs_per_op": 67633
+    }
   },
   "self_check": {
     "benchmark": "BenchmarkSimulatorThroughputChecked",
@@ -88,6 +103,17 @@ cat > BENCH_perf.json <<EOF
     "ipc_delta_pct": $IPC_DELTA,
     "eff_fetch_rate_delta_pct": $EFF_DELTA,
     "mispredict_rate_delta_pp": $MISP_DELTA
+  },
+  "replay": {
+    "benchmark": "BenchmarkFrontEndSweepDetailed / BenchmarkFrontEndSweepReplay / BenchmarkReplayAccuracy",
+    "note": "10-point front-end sweep (5 configs x gcc,go; 60k warmup + 100k measured per point, workers=1). The replay variant records each benchmark once outside the timer, then resolves every point from the decoded retired stream (front end only, see DESIGN.md). Accuracy deltas are replay-vs-detailed on gcc for the baseline and promo-pack-costreg configs; committed experiment numbers remain fully detailed (replay is opt-in).",
+    "detailed_sweep_ns_per_op": $FES_DET_NS,
+    "replay_sweep_ns_per_op": $FES_REP_NS,
+    "replay_sweep_speedup": $REPLAY_SPEEDUP,
+    "baseline_eff_fetch_rate_delta_pct": $REP_BASE_EFF,
+    "baseline_mispredict_rate_delta_pp": $REP_BASE_MISP,
+    "promo_pack_costreg_eff_fetch_rate_delta_pct": $REP_BEST_EFF,
+    "promo_pack_costreg_mispredict_rate_delta_pp": $REP_BEST_MISP
   },
   "pre_pr_baseline": {
     "note": "measured before the parallel sweep engine + allocation diet (sequential runner, cpus=1)",

@@ -81,6 +81,26 @@ grep -q '"total"' /tmp/tcbench-ci-progress.json || {
 cmp /tmp/tcbench-ci-monitored.out /tmp/tcbench-ci-bare.out || {
 	echo "FAIL: monitored stdout differs from bare run"; exit 1; }
 
+echo "== replay smoke (record -> replay -> verify within fidelity bounds) =="
+rm -rf /tmp/tcsim-ci-traces && mkdir -p /tmp/tcsim-ci-traces
+go build -o /tmp/tcsim-ci ./cmd/tcsim
+/tmp/tcsim-ci -bench gcc -config baseline -warmup 20000 -insts 60000 \
+	-record /tmp/tcsim-ci-traces >/dev/null
+TRACE=$(ls /tmp/tcsim-ci-traces/*.tctrace | head -1)
+[ -n "$TRACE" ] || { echo "FAIL: -record produced no trace"; exit 1; }
+/tmp/tcsim-ci -bench gcc -config baseline -warmup 20000 -insts 60000 \
+	-replay "$TRACE" -json >/dev/null
+# -replay-verify records in memory, replays, and exits non-zero on any
+# fidelity violation (internal/check.CompareReplay, documented tolerances).
+/tmp/tcsim-ci -bench gcc -config baseline -warmup 20000 -insts 60000 \
+	-replay-verify
+/tmp/tcsim-ci -bench gcc -config promo-pack-costreg -warmup 20000 -insts 60000 \
+	-replay-verify
+echo "== replay tests (stream format, fidelity, determinism, runner fast path) =="
+go test ./internal/trace/
+go test -run 'TestReplay|TestRecord|TestRunnerReplay|TestCompareReplay' \
+	./internal/sim/ ./internal/experiments/ ./internal/check/
+
 echo "== benchmark smoke =="
 go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .
 

@@ -62,6 +62,10 @@ type (
 	Experiment = experiments.Experiment
 	// Runner executes experiment simulations with memoization.
 	Runner = experiments.Runner
+	// Replayer drives only the front end (trace cache, fill unit,
+	// predictors, L1I) from a recorded retired stream; cycle-domain
+	// statistics are undefined under replay.
+	Replayer = sim.Replayer
 )
 
 // Packing policies (Section 5 of the paper).
@@ -130,6 +134,16 @@ func BenchmarkProgram(name string) (*Program, error) {
 // NewSimulator builds a simulator for the program under the configuration.
 func NewSimulator(cfg Config, prog *Program) (*Simulator, error) {
 	return sim.New(cfg, prog)
+}
+
+// NewReplayer builds a front-end-only replay engine for the program under
+// the configuration. Attach a recording to a detailed run first
+// (Simulator.AttachRecorder, or tcsim -record / Runner.Replay), then feed
+// the stream to Replayer.Replay; one recording serves every configuration
+// that varies only front-end axes. See DESIGN.md §9 for the fidelity
+// contract.
+func NewReplayer(cfg Config, prog *Program) (*Replayer, error) {
+	return sim.NewReplayer(cfg, prog)
 }
 
 // Simulate runs the program to its instruction budget under the
