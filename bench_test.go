@@ -340,6 +340,131 @@ func BenchmarkReplayAccuracy(b *testing.B) {
 	}
 }
 
+// sampledSweep drives a six-point sweep (three configurations by two
+// benchmarks) at a fixed 400k-instruction committed-stream extent per
+// point, either fully detailed or through the statistical-sampling path
+// (10 windows of 1k insts + 1k warmup per point, ~0.5% measured in
+// detail). The ratio of the two variants is the sampled-sweep speedup
+// recorded in BENCH_perf.json.
+func sampledSweep(b *testing.B, sampled bool) {
+	b.Helper()
+	const budget = 400_000
+	configs := []tracecache.Config{
+		tracecache.BaselineConfig(),
+		tracecache.ICacheConfig(),
+		tracecache.BestConfig(),
+	}
+	benches := []string{"gcc", "go"}
+	for i := 0; i < b.N; i++ {
+		r := tracecache.NewRunner(0, budget)
+		r.Workers = 1
+		if sampled {
+			r.Sampling = tracecache.SamplingParams{
+				WindowInsts: 1000, PeriodInsts: 40_000, WarmupInsts: 1000, Seed: 1,
+			}
+		}
+		var measured uint64
+		for _, cfg := range configs {
+			for _, bench := range benches {
+				if sampled {
+					sm, err := r.RunSampledE(cfg, bench)
+					if err != nil {
+						b.Fatal(err)
+					}
+					measured += sm.MeasuredInsts
+				} else {
+					run, err := r.RunE(cfg, bench)
+					if err != nil {
+						b.Fatal(err)
+					}
+					measured += run.Retired
+				}
+			}
+		}
+		if measured == 0 {
+			b.Fatal("sweep measured nothing")
+		}
+	}
+}
+
+// BenchmarkSampledSweepDetailed simulates every point of the sweep
+// cycle-detailed over the full committed-stream extent.
+func BenchmarkSampledSweepDetailed(b *testing.B) { sampledSweep(b, false) }
+
+// BenchmarkSampledSweepSampled covers the same extent with the SMARTS-style
+// sampled execution mode (functional gaps + detailed windows).
+func BenchmarkSampledSweepSampled(b *testing.B) { sampledSweep(b, true) }
+
+// BenchmarkSampledAccuracy reports the statistical cost of sampling as
+// metrics, mirroring BenchmarkFastForwardAccuracy: the two headline
+// configurations are run fully detailed over a 200k-instruction extent
+// (the ground truth) and sampled over the same extent (10 windows, 5%
+// measured), and the per-statistic deltas plus the number of headline
+// metrics whose truth falls inside the sampled 95% CI (of 3) are recorded
+// in BENCH_perf.json. The runs are deterministic, so the deltas are exact
+// properties of the sampling model, not noise.
+func BenchmarkSampledAccuracy(b *testing.B) {
+	const bench = "gcc"
+	prog, err := tracecache.BenchmarkProgram(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	headline := []struct {
+		label string
+		cfg   tracecache.Config
+	}{
+		{"baseline", tracecache.BaselineConfig()},
+		{"best", tracecache.BestConfig()},
+	}
+	var dIPC, dEff, dMisp, ciIPC, covered [2]float64
+	for i := 0; i < b.N; i++ {
+		for j, h := range headline {
+			det := h.cfg
+			det.WarmupInsts, det.MaxInsts = 0, 1_000_000
+			truth, err := tracecache.Simulate(det, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := det
+			sc.Sampling = tracecache.SamplingParams{
+				WindowInsts: 1000, PeriodInsts: 50_000, WarmupInsts: 5000, Seed: 1,
+			}
+			sm, err := tracecache.SimulateSampled(sc, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dIPC[j] = 100 * (sm.IPC.Mean - truth.IPC()) / truth.IPC()
+			dEff[j] = 100 * (sm.EffFetchRate.Mean - truth.EffFetchRate()) / truth.EffFetchRate()
+			dMisp[j] = 100 * (sm.MispredictRate.Mean - truth.CondMispredictRate())
+			ciIPC[j] = sm.IPC.HalfWidth()
+			covered[j] = 0
+			if diff := sm.IPC.Mean - truth.IPC(); abs(diff) <= sm.IPC.HalfWidth() {
+				covered[j]++
+			}
+			if diff := sm.EffFetchRate.Mean - truth.EffFetchRate(); abs(diff) <= sm.EffFetchRate.HalfWidth() {
+				covered[j]++
+			}
+			if diff := sm.MispredictRate.Mean - truth.CondMispredictRate(); abs(diff) <= sm.MispredictRate.HalfWidth() {
+				covered[j]++
+			}
+		}
+	}
+	for j, h := range headline {
+		b.ReportMetric(dIPC[j], h.label+"-ipc-delta-%")
+		b.ReportMetric(dEff[j], h.label+"-eff-delta-%")
+		b.ReportMetric(dMisp[j], h.label+"-mispredict-delta-pp")
+		b.ReportMetric(ciIPC[j], h.label+"-ipc-ci-halfwidth")
+		b.ReportMetric(covered[j], h.label+"-covered-of-3")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // BenchmarkHeadline reports the paper's headline comparison as metrics:
 // effective fetch rate of baseline vs promotion+packing.
 func BenchmarkHeadline(b *testing.B) {

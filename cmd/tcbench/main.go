@@ -36,6 +36,7 @@ import (
 	"tracecache/internal/monitor"
 	"tracecache/internal/obs"
 	"tracecache/internal/profiler"
+	"tracecache/internal/sim"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 		jReport  = flag.String("journal-report", "", "summarize a journal file and exit (two comma-separated files: diff them)")
 		replay   = flag.Bool("replay", false, "record each benchmark's retired stream once and replay it for every front-end-equivalent point (cycle-domain statistics undefined on replayed points; see DESIGN.md §9)")
 		traceDir = flag.String("tracedir", "", "with -replay, persist and reuse recorded streams in this directory")
+		sample   = flag.String("sample", "", "run the sampled headline comparison with schedule window:period:warmup[:seed]; -insts becomes the total committed-stream budget per benchmark and -exp is ignored (see DESIGN.md §10)")
 	)
 	flag.Parse()
 
@@ -113,6 +115,24 @@ func main() {
 	r.TraceDir = *traceDir
 	if *progress {
 		r.Log = os.Stderr
+	}
+	if *sample != "" {
+		if *replay {
+			fmt.Fprintln(os.Stderr, "tcbench: -sample cannot be combined with -replay (sampled runs need the full machine)")
+			os.Exit(1)
+		}
+		p, err := sim.ParseSamplingSpec(*sample)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			os.Exit(1)
+		}
+		r.Sampling = p
+		selected = []tracecache.Experiment{{
+			ID:    "sampled",
+			Title: fmt.Sprintf("Promotion/packing headline comparison, statistically sampled at %d insts/benchmark", *insts),
+			Paper: "paper-scale counterpart of Figures 10 and 11, with 95% confidence intervals",
+			Run:   experiments.SampledComparison,
+		}}
 	}
 
 	// Monitoring and journaling ride on the runner's instrumentation

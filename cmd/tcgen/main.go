@@ -29,6 +29,7 @@ func main() {
 		limit    = flag.Uint64("limit", 500_000, "dynamic-analysis instruction budget")
 		list     = flag.Bool("list", false, "list benchmarks")
 		save     = flag.String("save", "", "write the program image to this file")
+		scale    = flag.Int("scale", 0, "replicate the code footprint this many times (power of two <= 64) for paper-scale runs; 0 or 1 generate the standard program")
 		version  = flag.Bool("version", false, "print version and exit")
 		httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while generating/analyzing")
 	)
@@ -56,7 +57,12 @@ func main() {
 		return
 	}
 
-	prog, err := tracecache.BenchmarkProgram(*bench)
+	p, ok := tracecache.BenchmarkProfile(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tcgen: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(1)
+	}
+	prog, err := p.Scaled(*scale).Generate()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcgen: %v\n", err)
 		os.Exit(1)

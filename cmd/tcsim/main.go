@@ -54,6 +54,7 @@ func main() {
 		recPath  = flag.String("record", "", "record the retired stream to this file (an existing directory gets the content-addressed name)")
 		repPath  = flag.String("replay", "", "replay a recorded stream through the front end only (cycle-domain stats undefined; see DESIGN.md §9)")
 		repVer   = flag.Bool("replay-verify", false, "record in-memory, replay, and verify replayed statistics against the detailed run; violations exit non-zero")
+		sample   = flag.String("sample", "", "statistical sampling schedule window:period:warmup[:seed]; -insts becomes the total committed-stream budget and -warmup is unused (see DESIGN.md §10)")
 	)
 	flag.Parse()
 
@@ -90,10 +91,25 @@ func main() {
 	}
 
 	if *repPath != "" || *repVer {
-		if *check || *recPath != "" || *httpAddr != "" || *tsOut != "" || *trOut != "" {
-			fmt.Fprintln(os.Stderr, "tcsim: -replay/-replay-verify cannot be combined with -check, -record, -http, -timeseries or -trace")
+		if *check || *recPath != "" || *httpAddr != "" || *tsOut != "" || *trOut != "" || *sample != "" {
+			fmt.Fprintln(os.Stderr, "tcsim: -replay/-replay-verify cannot be combined with -check, -record, -http, -timeseries, -trace or -sample")
 			os.Exit(1)
 		}
+	}
+	if *sample != "" {
+		if *recPath != "" || *httpAddr != "" || *tsOut != "" || *trOut != "" {
+			fmt.Fprintln(os.Stderr, "tcsim: -sample cannot be combined with -record, -http, -timeseries or -trace (windowed telemetry and recordings need a contiguous detailed run)")
+			os.Exit(1)
+		}
+		p, err := sim.ParseSamplingSpec(*sample)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Sampling = p
+		cfg.WarmupInsts = 0 // each window carries its own warmup
+		runSampled(cfg, prog, *bench, *progFile, *asJSON, *jPath)
+		return
 	}
 	if *repVer {
 		runReplayVerify(cfg, prog)

@@ -65,9 +65,13 @@ const (
 	// replay of a recorded retired stream against the detailed run that
 	// produced it (CompareReplay).
 	LayerReplay
+	// LayerSampling covers the sampled execution mode: per-run phase
+	// conservation identities (SamplingAudit) and the sampled-vs-detailed
+	// fidelity comparison (CompareSampled).
+	LayerSampling
 )
 
-var layerNames = [...]string{"lockstep", "structural", "conservation", "replay"}
+var layerNames = [...]string{"lockstep", "structural", "conservation", "replay", "sampling"}
 
 // String names the layer.
 func (l Layer) String() string {

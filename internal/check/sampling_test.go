@@ -1,0 +1,254 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"tracecache/internal/stats"
+)
+
+// rules extracts the rule names of a violation slice for compact asserts.
+func rules(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Rule
+	}
+	return out
+}
+
+func assertRules(t *testing.T, vs []Violation, want ...string) {
+	t.Helper()
+	got := rules(vs)
+	if len(got) != len(want) {
+		t.Fatalf("violations = %v, want rules %v", vs, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("violation %d rule = %q, want %q (all: %v)", i, got[i], want[i], vs)
+		}
+	}
+	for _, v := range vs {
+		if v.Layer != LayerSampling {
+			t.Fatalf("violation %+v not on the sampling layer", v)
+		}
+	}
+}
+
+// TestSamplingAuditCleanRun: a well-formed gap/warmup/window/drain
+// sequence covering the budget produces no violations.
+func TestSamplingAuditCleanRun(t *testing.T) {
+	a := NewSamplingAudit(1000, 10_000, 100, 4, 256)
+	// Period 1: gap to 3000, warmup 50, window 100 + drain tail 7.
+	a.OnGap(1000, 2000, 2000, 3000, false)
+	a.OnWarmup(3000, 50, 3050, false)
+	a.OnWindow(3050, 3157, 100, false)
+	// Period 2: window overshoots by retire slack (3), no drain tail.
+	a.OnGap(3157, 4843, 4843, 8000, false)
+	a.OnWarmup(8000, 50, 8050, false)
+	a.OnWindow(8050, 8153, 103, false)
+	// Trailing gap to the budget end.
+	a.OnGap(8153, 2847, 2847, 11_000, false)
+	if a.Windows() != 2 {
+		t.Fatalf("Windows() = %d, want 2", a.Windows())
+	}
+	assertRules(t, a.Finalize(11_000, 203))
+}
+
+// TestSamplingAuditHaltedRun: a run that halts mid-gap may fall short of
+// its budget without violating anything.
+func TestSamplingAuditHaltedRun(t *testing.T) {
+	a := NewSamplingAudit(0, 10_000, 100, 4, 256)
+	a.OnGap(0, 2000, 2000, 2000, false)
+	a.OnWarmup(2000, 50, 2050, false)
+	a.OnWindow(2050, 2150, 100, false)
+	a.OnGap(2150, 4000, 1200, 3350, true) // halt inside the gap
+	assertRules(t, a.Finalize(3350, 100))
+}
+
+// TestSamplingAuditGapIdentities: a gap whose reported count disagrees
+// with the committed-position delta, or that falls short without a halt,
+// is flagged.
+func TestSamplingAuditGapIdentities(t *testing.T) {
+	a := NewSamplingAudit(0, 100_000, 100, 4, 256)
+	a.OnGap(0, 2000, 2000, 1999, false) // advanced 1999, reported 2000
+	a.OnGap(1999, 500, 400, 2399, false)
+	vs := a.vs
+	assertRules(t, vs, "sampling/gap-executed-once", "sampling/gap-short")
+}
+
+// TestSamplingAuditPhasePosition: a phase starting anywhere but where the
+// previous one ended means instructions were skipped or replayed between
+// phases.
+func TestSamplingAuditPhasePosition(t *testing.T) {
+	a := NewSamplingAudit(0, 100_000, 100, 4, 256)
+	a.OnGap(0, 1000, 1000, 1000, false)
+	a.OnWarmup(1010, 50, 1060, false) // 10 instructions unaccounted
+	assertRules(t, a.vs, "sampling/phase-position")
+}
+
+// TestSamplingAuditWindowBounds: short windows, overruns past retire
+// slack, and drain tails past the drain bound are each flagged.
+func TestSamplingAuditWindowBounds(t *testing.T) {
+	t.Run("short", func(t *testing.T) {
+		a := NewSamplingAudit(0, 100_000, 100, 4, 256)
+		a.OnWindow(0, 90, 90, false)
+		assertRules(t, a.vs, "sampling/window-short")
+	})
+	t.Run("overrun", func(t *testing.T) {
+		a := NewSamplingAudit(0, 100_000, 100, 4, 256)
+		a.OnWindow(0, 104, 104, false) // slack is RetireWidth-1 = 3
+		assertRules(t, a.vs, "sampling/window-overrun")
+	})
+	t.Run("drain-tail", func(t *testing.T) {
+		a := NewSamplingAudit(0, 100_000, 100, 4, 256)
+		a.OnWindow(0, 100+257, 100, false) // tail 257 > drain bound 256
+		assertRules(t, a.vs, "sampling/window-drain")
+	})
+	t.Run("impossible-sample", func(t *testing.T) {
+		a := NewSamplingAudit(0, 100_000, 100, 4, 256)
+		a.OnWindow(0, 100, 104, false) // sample retired more than committed
+		assertRules(t, a.vs, "sampling/window-overrun", "sampling/window-drain")
+	})
+}
+
+// TestSamplingAuditFinalize: final-position, budget-coverage, and
+// measured-sum identities.
+func TestSamplingAuditFinalize(t *testing.T) {
+	a := NewSamplingAudit(0, 10_000, 100, 4, 256)
+	a.OnGap(0, 5000, 5000, 5000, false)
+	a.OnWindow(5000, 5100, 100, false)
+	vs := a.Finalize(5099, 99)
+	assertRules(t, vs,
+		"sampling/final-position", // ended at 5099, phases account for 5100
+		"sampling/budget-covered", // covered 5099 < 10000 without halt
+		"sampling/measured-sum")   // samples sum to 100, aggregate says 99
+}
+
+// sampledFixture builds a Sampled whose three windows straddle the given
+// detailed truth, then aggregates it. Window metrics are mean±spread.
+func sampledFixture(ipc, eff, mis, tch, spread float64) *stats.Sampled {
+	s := &stats.Sampled{
+		Benchmark: "gcc", Config: "baseline",
+		WindowInsts: 100, PeriodInsts: 1000, WarmupInsts: 50, Seed: 1,
+		TotalInsts: 10_000,
+		Meta: &stats.Meta{
+			Provenance: stats.ProvSampled,
+			Sampling:   &stats.SamplingMeta{WindowInsts: 100, PeriodInsts: 1000, WarmupInsts: 50, Seed: 1, Windows: 3},
+		},
+	}
+	for i, d := range []float64{-spread, 0, spread} {
+		s.Windows = append(s.Windows, stats.WindowSample{
+			Index: i, Retired: 100, Cycles: 50,
+			IPC: ipc + d, EffFetchRate: eff + d, MispredictRate: mis + d/10,
+			TCHitRate: tch + d/10, TCLookups: 40, TCHits: 30,
+		})
+	}
+	s.Aggregate()
+	return s
+}
+
+// TestCompareSampledPass: estimates whose intervals cover the detailed
+// truth tie out with no violations.
+func TestCompareSampledPass(t *testing.T) {
+	d := GroundTruth{
+		Run: &stats.Run{
+			Retired: 10_000, Cycles: 5000,
+			Fetches: 2000, FetchedCorrect: 8000,
+			CondBranches: 1000, CondMispredicts: 50,
+		},
+		TCLookups: 4000, TCHits: 3000,
+	}
+	// Truth: IPC 2.0, eff rate 4.0, mispredict 0.05, TC hit 0.75.
+	s := sampledFixture(2.0, 4.0, 0.05, 0.75, 0.2)
+	if vs := CompareSampled(d, s, DefaultSampledTolerance()); len(vs) != 0 {
+		t.Fatalf("clean comparison produced violations: %v", vs)
+	}
+}
+
+// TestCompareSampledDetectsBias: an estimate far from the truth is
+// flagged on its own rule even with the default tolerance.
+func TestCompareSampledDetectsBias(t *testing.T) {
+	d := GroundTruth{
+		Run: &stats.Run{
+			Retired: 10_000, Cycles: 5000,
+			Fetches: 2000, FetchedCorrect: 8000,
+			CondBranches: 1000, CondMispredicts: 50,
+		},
+		TCLookups: 4000, TCHits: 3000,
+	}
+	// IPC estimate centered at 3.0 vs truth 2.0: far outside CI+8%.
+	s := sampledFixture(3.0, 4.0, 0.05, 0.75, 0.05)
+	vs := CompareSampled(d, s, DefaultSampledTolerance())
+	if len(vs) != 1 || vs[0].Rule != "sampling/ipc" {
+		t.Fatalf("violations = %v, want exactly sampling/ipc", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "outside sampled CI") {
+		t.Fatalf("detail %q does not describe the interval", vs[0].Detail)
+	}
+}
+
+// TestCompareSampledZeroToleranceIsStrict: with zero slack, pure CI
+// coverage decides — a tight interval away from the truth fails all four
+// metric rules.
+func TestCompareSampledZeroToleranceIsStrict(t *testing.T) {
+	d := GroundTruth{
+		Run: &stats.Run{
+			Retired: 10_000, Cycles: 5000,
+			Fetches: 2000, FetchedCorrect: 8000,
+			CondBranches: 1000, CondMispredicts: 50,
+		},
+		TCLookups: 4000, TCHits: 3000,
+	}
+	s := sampledFixture(2.5, 4.5, 0.10, 0.60, 0.001)
+	vs := CompareSampled(d, s, SampledTolerance{})
+	assertRules(t, vs,
+		"sampling/ipc", "sampling/eff-fetch-rate",
+		"sampling/cond-mispredict-rate", "sampling/tc-hit-rate")
+}
+
+// TestCompareSampledSkipsTCWithoutLookups: against an icache ground truth
+// (no TC probes) the TC rule is skipped entirely.
+func TestCompareSampledSkipsTCWithoutLookups(t *testing.T) {
+	d := GroundTruth{
+		Run: &stats.Run{
+			Retired: 10_000, Cycles: 5000,
+			Fetches: 2000, FetchedCorrect: 8000,
+			CondBranches: 1000, CondMispredicts: 50,
+		},
+	}
+	s := sampledFixture(2.0, 4.0, 0.05, 0.0, 0.1)
+	if vs := CompareSampled(d, s, DefaultSampledTolerance()); len(vs) != 0 {
+		t.Fatalf("icache comparison produced violations: %v", vs)
+	}
+}
+
+// TestCompareSampledProvenance: a sampled result without ProvSampled
+// metadata, or with a window count disagreeing with its samples, is
+// flagged.
+func TestCompareSampledProvenance(t *testing.T) {
+	d := GroundTruth{Run: &stats.Run{Retired: 10_000, Cycles: 5000,
+		Fetches: 2000, FetchedCorrect: 8000, CondBranches: 1000, CondMispredicts: 50}}
+
+	s := sampledFixture(2.0, 4.0, 0.05, 0.75, 0.2)
+	s.Meta = nil
+	assertRules(t, CompareSampled(d, s, DefaultSampledTolerance()), "sampling/provenance")
+
+	s = sampledFixture(2.0, 4.0, 0.05, 0.75, 0.2)
+	s.Meta.Provenance = stats.ProvCold
+	assertRules(t, CompareSampled(d, s, DefaultSampledTolerance()), "sampling/provenance")
+
+	s = sampledFixture(2.0, 4.0, 0.05, 0.75, 0.2)
+	s.Meta.Sampling = nil
+	assertRules(t, CompareSampled(d, s, DefaultSampledTolerance()), "sampling/provenance")
+
+	s = sampledFixture(2.0, 4.0, 0.05, 0.75, 0.2)
+	s.Meta.Sampling.Windows = 7
+	assertRules(t, CompareSampled(d, s, DefaultSampledTolerance()), "sampling/window-count")
+}
+
+// TestLayerSamplingName: the sampling layer stringifies for reports.
+func TestLayerSamplingName(t *testing.T) {
+	if got := LayerSampling.String(); got != "sampling" {
+		t.Fatalf("LayerSampling.String() = %q", got)
+	}
+}

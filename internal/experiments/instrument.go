@@ -85,7 +85,7 @@ func MultiListener(ls ...func(RunEvent)) func(RunEvent) {
 // one RunnerMetrics serves any number of concurrent sweeps; the identities
 //
 //	MemoMisses == RunsCompleted + RunsFailed (every miss simulates)
-//	RunsCompleted == CheckpointForks + ColdStarts + Replays
+//	RunsCompleted == CheckpointForks + ColdStarts + Replays + SampledRuns
 //
 // hold whenever the runner is quiescent.
 type RunnerMetrics struct {
@@ -95,10 +95,12 @@ type RunnerMetrics struct {
 	// MemoHits counts requests resolved by singleflight sharing;
 	// MemoMisses counts requests that had to simulate.
 	MemoHits, MemoMisses *metrics.Counter
-	// CheckpointForks, ColdStarts and Replays partition completed runs by
-	// provenance: restored from a shared warm checkpoint, simulated from
-	// scratch, or resolved by the front-end replay fast path.
-	CheckpointForks, ColdStarts, Replays *metrics.Counter
+	// CheckpointForks, ColdStarts, Replays and SampledRuns partition
+	// completed runs by provenance: restored from a shared warm checkpoint,
+	// simulated from scratch, resolved by the front-end replay fast path,
+	// or estimated by the statistical-sampling path (which counts as
+	// sampled regardless of whether its functional prefix was forked).
+	CheckpointForks, ColdStarts, Replays, SampledRuns *metrics.Counter
 	// WorkersBusy is the current worker-pool occupancy; WorkersLimit is
 	// the pool size (set when the pool is created).
 	WorkersBusy, WorkersLimit *metrics.Gauge
@@ -130,6 +132,8 @@ func InstrumentRunner(r *metrics.Registry) *RunnerMetrics {
 			"Completed simulations executed from scratch."),
 		Replays: r.Counter("tracecache_runner_replays_total",
 			"Completed runs resolved by the front-end replay fast path."),
+		SampledRuns: r.Counter("tracecache_runner_sampled_runs_total",
+			"Completed runs estimated by the statistical-sampling path."),
 		WorkersBusy: r.Gauge("tracecache_runner_workers_busy",
 			"Worker slots currently held by executing simulations."),
 		WorkersLimit: r.Gauge("tracecache_runner_workers_limit",

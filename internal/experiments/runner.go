@@ -86,6 +86,13 @@ type Runner struct {
 	// recording each benchmark exactly once across process lifetimes.
 	// Set before the first Run call.
 	TraceDir string
+	// Sampling, when enabled, is the schedule RunSampledE and SweepSampledE
+	// drive (see internal/sampling): Budget becomes the total committed-
+	// stream extent each sampled run covers, window/period/warmup/seed come
+	// from here, and Warmup is unused on the sampled path (each window
+	// carries its own warmup). The detailed path (RunE, SweepE) ignores
+	// this field entirely. Set before the first RunSampledE call.
+	Sampling sim.SamplingParams
 	// Metrics, when non-nil, receives fleet-level counters for every run
 	// request (see RunnerMetrics); r.Metrics.Sim is attached to every
 	// simulator the runner builds. Instrumentation changes no simulated
@@ -117,7 +124,11 @@ type Runner struct {
 type runEntry struct {
 	done chan struct{}
 	run  *stats.Run
-	err  error
+	// sampled is set only on sampled-path entries (RunSampledE), whose
+	// keys carry the sampling schedule; run then holds the pooled window
+	// counters.
+	sampled *stats.Sampled
+	err     error
 }
 
 // NewRunner builds a runner with the given instruction budgets.

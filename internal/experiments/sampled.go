@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tracecache/internal/config"
+	"tracecache/internal/core"
+	"tracecache/internal/sampling"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+	"tracecache/internal/textplot"
+	"tracecache/internal/workload"
+)
+
+// This file is the runner's sampled execution path: RunSampledE and
+// SweepSampledE drive internal/sampling under the same singleflight memo,
+// worker pool, checkpoint sharing, metrics, and run-event plumbing as the
+// detailed path — but memo keys carry the sampling schedule, so a sampled
+// estimate can never be conflated with (or shared as) a detailed
+// measurement of the same configuration. SampledComparison renders the
+// paper-scale headline table with confidence intervals.
+
+// sampledKey is the memo key of one sampled request. The schedule is part
+// of the key for the same reason it is part of Config.Hash: a sampled
+// result is an estimate parameterized by its schedule, not the same
+// number as a detailed run of the key's configuration.
+func sampledKey(cfg string, bench string, p sim.SamplingParams) string {
+	return fmt.Sprintf("%s/%s#sampled-w%d-p%d-u%d-s%d",
+		cfg, bench, p.WindowInsts, p.PeriodInsts, p.WarmupInsts, p.Seed)
+}
+
+// RunSampledE estimates the benchmark under the configuration with the
+// runner's sampling schedule (Runner.Sampling must be enabled; Budget is
+// the total committed-stream extent the schedule covers). Requests are
+// memoized and singleflighted exactly like RunE, under a key that carries
+// the schedule. The returned aggregate carries ProvSampled metadata; its
+// pooled counters are also recorded in the journal via the usual RunDone
+// event.
+func (r *Runner) RunSampledE(cfg sim.Config, bench string) (*stats.Sampled, error) {
+	p := r.Sampling
+	if !p.Enabled() {
+		return nil, fmt.Errorf("experiments: RunSampledE without a sampling schedule (set Runner.Sampling)")
+	}
+	key := sampledKey(cfg.Name, bench, p)
+	r.mu.Lock()
+	if e, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		if m := r.Metrics; m != nil {
+			m.MemoHits.Inc()
+		}
+		<-e.done
+		r.emit(RunEvent{
+			Phase: RunDone, Key: key, Config: cfg.Name, Benchmark: bench,
+			Run: e.run, Err: e.err,
+			Memoized: true, Provenance: stats.ProvMemoized,
+		})
+		return e.sampled, e.err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	r.runs[key] = e
+	r.mu.Unlock()
+
+	if m := r.Metrics; m != nil {
+		m.MemoMisses.Inc()
+	}
+	r.emit(RunEvent{Phase: RunQueued, Key: key, Config: cfg.Name, Benchmark: bench})
+	res := r.simulateSampled(key, cfg, bench)
+	e.run, e.sampled, e.err = res.run, res.sampled, res.err
+	if m := r.Metrics; m != nil {
+		if res.err != nil {
+			m.RunsFailed.Inc()
+		} else {
+			m.RunsCompleted.Inc()
+			m.SampledRuns.Inc()
+		}
+	}
+	r.emit(RunEvent{
+		Phase: RunDone, Key: key, Config: cfg.Name, Benchmark: bench,
+		Run: res.run, Err: res.err,
+		Provenance: stats.ProvSampled,
+		QueueWait:  res.queueWait, Wall: res.wall,
+	})
+	close(e.done)
+	return e.sampled, e.err
+}
+
+// sampledSimResult mirrors simResult for the sampled path.
+type sampledSimResult struct {
+	run       *stats.Run
+	sampled   *stats.Sampled
+	err       error
+	queueWait time.Duration
+	wall      time.Duration
+}
+
+// simulateSampled executes one sampled run under a worker slot: shared
+// checkpoint for the functional prefix when the runner fast-forwards, the
+// sampling driver for the schedule, and a hard failure on any sampling-
+// audit or self-check violation.
+func (r *Runner) simulateSampled(key string, cfg sim.Config, bench string) (res sampledSimResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = sampledSimResult{err: fmt.Errorf("experiments: %s: panic: %v", key, p),
+				queueWait: res.queueWait, wall: res.wall}
+		}
+	}()
+	fail := func(err error) sampledSimResult {
+		return sampledSimResult{err: fmt.Errorf("experiments: %s: %w", key, err),
+			queueWait: res.queueWait, wall: res.wall}
+	}
+	prog, err := workload.SharedProgram(bench)
+	if err != nil {
+		return fail(err)
+	}
+	//tcvet:ignore determinism wall-clock telemetry only: queue-wait measurement start, never simulated state
+	queuedAt := time.Now()
+	release := r.acquire()
+	defer release()
+	//tcvet:ignore determinism wall-clock telemetry only: queue-wait histogram and journal, never simulated state
+	res.queueWait = time.Since(queuedAt)
+	if m := r.Metrics; m != nil {
+		m.RunsStarted.Inc()
+		m.WorkersBusy.Add(1)
+		m.QueueWait.Observe(res.queueWait.Seconds())
+	}
+	r.emit(RunEvent{Phase: RunStarted, Key: key, Config: cfg.Name, Benchmark: bench,
+		QueueWait: res.queueWait})
+	//tcvet:ignore determinism wall-clock telemetry only: run-wall measurement start, never simulated state
+	startedAt := time.Now()
+	defer func() {
+		//tcvet:ignore determinism wall-clock telemetry only: run-wall histogram and journal, never simulated state
+		res.wall = time.Since(startedAt)
+		if m := r.Metrics; m != nil {
+			m.WorkersBusy.Add(-1)
+			m.RunWall.Observe(res.wall.Seconds())
+		}
+	}()
+	cfg.WarmupInsts = 0 // each window carries its own warmup
+	cfg.MaxInsts = r.Budget
+	cfg.FastForwardInsts = r.FastForward
+	cfg.Sampling = r.Sampling
+	cfg.Check = r.Check
+
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		return fail(err)
+	}
+	if m := r.Metrics; m != nil {
+		s.AttachMetrics(m.Sim)
+	}
+	if r.NewObserver != nil {
+		if bus := r.NewObserver(); bus != nil {
+			s.AttachObserver(bus)
+		}
+	}
+	forked := false
+	if r.FastForward > 0 {
+		cp, err := workload.SharedCheckpoint(bench, r.FastForward)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.ApplyCheckpoint(cp); err != nil {
+			return fail(err)
+		}
+		forked = true
+	}
+	r.logf("sampling %s...\n", key)
+	out, err := sampling.Run(s)
+	if err != nil {
+		return fail(err)
+	}
+	if chk := s.Checker(); chk != nil && chk.Total() > 0 {
+		return fail(fmt.Errorf("%s", chk.Report()))
+	}
+	if len(out.Violations) > 0 {
+		return fail(fmt.Errorf("sampling audit: %d violation(s), first: %s",
+			len(out.Violations), out.Violations[0].Detail))
+	}
+	if forked && out.Sampled.Meta != nil {
+		// Meta is shared between the aggregate and the pooled run.
+		out.Sampled.Meta.CheckpointShared = true
+	}
+	res.run, res.sampled = out.Run, out.Sampled
+	return res
+}
+
+// SweepSampledE estimates the configuration over every benchmark, fanning
+// across the worker pool, in paper order.
+func (r *Runner) SweepSampledE(cfg sim.Config) ([]*stats.Sampled, error) {
+	names := workload.Names()
+	out := make([]*stats.Sampled, len(names))
+	if r.workers() <= 1 {
+		for i, b := range names {
+			sm, err := r.RunSampledE(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sm
+		}
+		return out, nil
+	}
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, b := range names {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			out[i], errs[i] = r.RunSampledE(cfg, b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SampledComparisonConfigs is the headline comparison set: the reference
+// front end, the baseline trace cache, each technique alone, and the two
+// regulated/unregulated combinations the paper settles between.
+func SampledComparisonConfigs() []sim.Config {
+	return []sim.Config{
+		config.ICache(),
+		config.Baseline(),
+		config.Packing(),
+		config.Promotion(config.PromotionThreshold),
+		config.PromotionPacking(core.PackUnregulated, config.PromotionThreshold),
+		config.Best(),
+	}
+}
+
+// SampledComparison renders the promotion/packing headline comparison at
+// the runner's sampled budget: per benchmark and configuration, the
+// effective fetch rate and IPC as mean ±95% CI half-width, plus the
+// suite-average table the paper's Figures 10 and 11 summarize. It is the
+// paper-scale counterpart of Fig10/Fig11, with error bars.
+func SampledComparison(r *Runner) (string, error) {
+	cfgs := SampledComparisonConfigs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "total budget %s insts/benchmark: window %d, period %s, warmup %d, seed %d\n",
+		group(r.Budget), r.Sampling.WindowInsts, group(r.Sampling.PeriodInsts),
+		r.Sampling.WarmupInsts, r.Sampling.Seed)
+	fmt.Fprintf(&b, "each cell: mean ±95%% CI half-width over the completed windows\n\n")
+
+	sweeps := make([][]*stats.Sampled, len(cfgs))
+	for i, cfg := range cfgs {
+		sw, err := r.SweepSampledE(cfg)
+		if err != nil {
+			return "", err
+		}
+		sweeps[i] = sw
+	}
+
+	head := []string{"Benchmark"}
+	for _, cfg := range cfgs {
+		head = append(head, cfg.Name)
+	}
+
+	section := func(title string, pick func(*stats.Sampled) stats.Estimate, digits int) {
+		rows := make([][]string, 0, len(workload.Names())+1)
+		means := make([]float64, len(cfgs))
+		for bi, bench := range workload.Names() {
+			cells := []string{workload.ShortName(bench)}
+			for ci := range cfgs {
+				e := pick(sweeps[ci][bi])
+				cells = append(cells, fmt.Sprintf("%.*f ±%.*f", digits, e.Mean, digits, e.HalfWidth()))
+				means[ci] += e.Mean
+			}
+			rows = append(rows, cells)
+		}
+		avg := []string{"average"}
+		for ci := range cfgs {
+			avg = append(avg, fmt.Sprintf("%.*f", digits, means[ci]/float64(len(workload.Names()))))
+		}
+		rows = append(rows, avg)
+		b.WriteString(title + "\n")
+		b.WriteString(textplot.Table(head, rows))
+		b.WriteString("\n")
+	}
+
+	section("Effective fetch rate (paper Fig 10)", func(s *stats.Sampled) stats.Estimate { return s.EffFetchRate }, 2)
+	section("IPC (paper Fig 11)", func(s *stats.Sampled) stats.Estimate { return s.IPC }, 3)
+	section("Conditional mispredict rate", func(s *stats.Sampled) stats.Estimate { return s.MispredictRate }, 4)
+	return b.String(), nil
+}
+
+// group formats an instruction count with thousands separators for the
+// table headers (40_000_000 -> "40,000,000").
+func group(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"testing"
+
+	"tracecache/internal/config"
+	"tracecache/internal/metrics"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+)
+
+func sampledRunner(workers int) *Runner {
+	r := NewRunner(2000, 100_000)
+	r.Workers = workers
+	r.Sampling = sim.SamplingParams{
+		WindowInsts: 1000,
+		PeriodInsts: 20_000,
+		WarmupInsts: 1000,
+		Seed:        1,
+	}
+	return r
+}
+
+// TestRunSampledMemoSeparation: a sampled request and a detailed request
+// of the same (config, benchmark) occupy distinct memo slots, and the
+// sampled result is marked as the estimate it is — sampled provenance,
+// schedule metadata, and a schedule-bearing config hash distinct from the
+// detailed twin's.
+func TestRunSampledMemoSeparation(t *testing.T) {
+	r := sampledRunner(1)
+	det, err := r.RunE(config.Baseline(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := r.RunSampledE(config.Baseline(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := r.CachedKeys()
+	if len(keys) != 2 {
+		t.Fatalf("memo holds %v, want one detailed and one sampled slot", keys)
+	}
+	if sm.Meta == nil || sm.Meta.Provenance != stats.ProvSampled || sm.Meta.Sampling == nil {
+		t.Fatalf("sampled meta = %+v, want ProvSampled with schedule", sm.Meta)
+	}
+	if det.Meta.Provenance == stats.ProvSampled {
+		t.Fatal("detailed run acquired sampled provenance")
+	}
+	if det.Meta.ConfigHash == sm.Meta.ConfigHash {
+		t.Fatal("sampled and detailed config hashes collide: memoization/journal would conflate them")
+	}
+
+	// A second sampled request must share the slot, not re-simulate.
+	sm2, err := r.RunSampledE(config.Baseline(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm2 != sm {
+		t.Fatal("repeated sampled request did not share the memoized aggregate")
+	}
+}
+
+// TestSweepSampledParallelDeterminism: a sampled sweep is bit-identical
+// across worker counts — schedules, per-window samples, and estimates.
+func TestSweepSampledParallelDeterminism(t *testing.T) {
+	seq, err := sampledRunner(1).SweepSampledE(config.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sampledRunner(4).SweepSampledE(config.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if len(a.Windows) != len(b.Windows) {
+			t.Fatalf("%s: window counts differ", a.Benchmark)
+		}
+		for w := range a.Windows {
+			if a.Windows[w] != b.Windows[w] {
+				t.Fatalf("%s window %d: parallel sweep diverged:\n%+v\nvs\n%+v",
+					a.Benchmark, w, a.Windows[w], b.Windows[w])
+			}
+		}
+		if a.IPC != b.IPC || a.EffFetchRate != b.EffFetchRate {
+			t.Fatalf("%s: estimates diverged across worker counts", a.Benchmark)
+		}
+	}
+}
+
+// TestRunSampledMetricsAndEvents: the sampled path feeds the runner
+// counters (SampledRuns partitions RunsCompleted) and emits the same
+// queued/started/done event shape as the detailed path, with sampled
+// provenance on the executing request and memoized on sharing ones.
+func TestRunSampledMetricsAndEvents(t *testing.T) {
+	r := sampledRunner(1)
+	m := InstrumentRunner(metrics.NewRegistry())
+	r.Metrics = m
+	var events []RunEvent
+	r.OnRun = func(ev RunEvent) { events = append(events, ev) }
+
+	if _, err := r.RunSampledE(config.Baseline(), "gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunSampledE(config.Baseline(), "gcc"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.SampledRuns.Value(); got != 1 {
+		t.Fatalf("SampledRuns = %d, want 1", got)
+	}
+	if m.RunsCompleted.Value() != m.CheckpointForks.Value()+m.ColdStarts.Value()+
+		m.Replays.Value()+m.SampledRuns.Value() {
+		t.Fatal("provenance counters do not partition RunsCompleted")
+	}
+	if m.MemoHits.Value() != 1 || m.MemoMisses.Value() != 1 {
+		t.Fatalf("memo hits/misses = %d/%d, want 1/1",
+			m.MemoHits.Value(), m.MemoMisses.Value())
+	}
+
+	var phases []RunPhase
+	var provs []string
+	for _, ev := range events {
+		phases = append(phases, ev.Phase)
+		if ev.Phase == RunDone {
+			provs = append(provs, ev.Provenance)
+			if ev.Run == nil || ev.Run.Meta == nil || ev.Run.Meta.Sampling == nil {
+				t.Fatalf("RunDone event run lacks sampling metadata: %+v", ev.Run)
+			}
+		}
+	}
+	wantPhases := []RunPhase{RunQueued, RunStarted, RunDone, RunDone}
+	for i := range wantPhases {
+		if i >= len(phases) || phases[i] != wantPhases[i] {
+			t.Fatalf("event phases = %v, want %v", phases, wantPhases)
+		}
+	}
+	if provs[0] != stats.ProvSampled || provs[1] != stats.ProvMemoized {
+		t.Fatalf("RunDone provenances = %v, want [sampled memoized]", provs)
+	}
+}
+
+// TestRunSampledCheckpointFork: with FastForward set, the sampled run
+// restores the shared checkpoint and says so in its metadata while
+// keeping sampled provenance.
+func TestRunSampledCheckpointFork(t *testing.T) {
+	r := sampledRunner(1)
+	r.FastForward = 30_000
+	sm, err := r.RunSampledE(config.Baseline(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Meta == nil || !sm.Meta.CheckpointShared || sm.Meta.FastForwardInsts != 30_000 {
+		t.Fatalf("meta = %+v, want checkpoint-shared ffwd 30000", sm.Meta)
+	}
+	if sm.Meta.Provenance != stats.ProvSampled {
+		t.Fatalf("provenance = %q, want sampled", sm.Meta.Provenance)
+	}
+}
+
+// TestRunSampledRequiresSchedule: RunSampledE without Runner.Sampling
+// fails fast instead of silently running detailed.
+func TestRunSampledRequiresSchedule(t *testing.T) {
+	r := NewRunner(2000, 100_000)
+	if _, err := r.RunSampledE(config.Baseline(), "gcc"); err == nil {
+		t.Fatal("RunSampledE accepted a runner without a sampling schedule")
+	}
+}

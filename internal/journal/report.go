@@ -9,8 +9,19 @@ import (
 	"tracecache/internal/textplot"
 )
 
-// pointKey orders records by sweep point.
-func pointKey(r Record) string { return r.Config + "/" + r.Benchmark }
+// pointKey orders records by sweep point. Sampled records carry their
+// schedule in the key: a sampled estimate and a detailed measurement of
+// the same (config, benchmark) are different points, never each other's
+// "latest result".
+func pointKey(r Record) string {
+	k := r.Config + "/" + r.Benchmark
+	if r.Meta != nil && r.Meta.Sampling != nil {
+		s := r.Meta.Sampling
+		k += fmt.Sprintf("#sampled-w%d-p%d-u%d-s%d",
+			s.WindowInsts, s.PeriodInsts, s.WarmupInsts, s.Seed)
+	}
+	return k
+}
 
 // latestResult picks, per sweep point, the authoritative record: the last
 // successful one (memoized records share the executed run's statistics, so
@@ -63,9 +74,9 @@ func Report(recs []Record, truncatedTail bool) string {
 		}
 	}
 	fmt.Fprintf(&sb, "journal: %d records (%d ok, %d failed)\n", len(recs), ok, failed)
-	fmt.Fprintf(&sb, "provenance: %d cold, %d checkpoint-fork, %d replay, %d memoized\n",
+	fmt.Fprintf(&sb, "provenance: %d cold, %d checkpoint-fork, %d replay, %d sampled, %d memoized\n",
 		prov[stats.ProvCold], prov[stats.ProvCheckpointFork], prov[stats.ProvReplay],
-		prov[stats.ProvMemoized])
+		prov[stats.ProvSampled], prov[stats.ProvMemoized])
 	if wallMs > 0 {
 		fmt.Fprintf(&sb, "simulated: %d measured insts in %.1fs slot wall (%.0f insts/s)\n",
 			retired, wallMs/1000, float64(retired)/(wallMs/1000))

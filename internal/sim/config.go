@@ -9,6 +9,8 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
+	"strings"
 
 	"tracecache/internal/cache"
 	"tracecache/internal/core"
@@ -81,6 +83,16 @@ type Config struct {
 	MaxInsts         uint64
 	MaxCycles        uint64
 
+	// Sampling, when non-zero, selects the SMARTS-style sampled execution
+	// mode (internal/sampling): MaxInsts is interpreted as the total
+	// committed-stream budget, covered by alternating functional
+	// fast-forward gaps and detailed {warmup, measurement} windows on the
+	// Sampling schedule, with statistics aggregated into interval
+	// estimates. WarmupInsts and FastForwardInsts keep their meaning for
+	// the prefix before the first window. Included in Hash (unlike Check)
+	// because a sampled result is an estimate, not the same measurement.
+	Sampling SamplingParams
+
 	// Check enables the self-verification layer (internal/check): a
 	// functional reference model runs in lockstep with the detailed
 	// engine, structural invariants are asserted on every segment and
@@ -89,6 +101,67 @@ type Config struct {
 	// via Simulator.CheckViolations. Excluded from Hash so a checked run
 	// is attributable to the same machine as its unchecked twin.
 	Check bool
+}
+
+// SamplingParams is the schedule of the sampled execution mode. The zero
+// value disables sampling.
+type SamplingParams struct {
+	// WindowInsts is the length of each detailed measurement window;
+	// PeriodInsts is the committed-stream distance between successive
+	// window starts (so PeriodInsts − WarmupInsts − WindowInsts
+	// instructions per period are fast-forwarded functionally);
+	// WarmupInsts is the detailed warmup preceding each window, whose
+	// statistics are discarded.
+	WindowInsts uint64
+	PeriodInsts uint64
+	WarmupInsts uint64
+	// Seed drives the deterministic per-period placement jitter of the
+	// measurement window inside its period. Two runs with equal seeds
+	// produce byte-identical results; differing seeds produce differing
+	// window schedules.
+	Seed uint64
+}
+
+// Enabled reports whether the sampled execution mode is selected.
+func (p SamplingParams) Enabled() bool { return p != SamplingParams{} }
+
+// Validate reports schedule errors.
+func (p SamplingParams) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.WindowInsts == 0 {
+		return fmt.Errorf("sampling: zero window")
+	}
+	if p.PeriodInsts < p.WindowInsts+p.WarmupInsts {
+		return fmt.Errorf("sampling: period %d shorter than warmup %d + window %d",
+			p.PeriodInsts, p.WarmupInsts, p.WindowInsts)
+	}
+	return nil
+}
+
+// ParseSamplingSpec parses the CLI schedule syntax shared by tcsim and
+// tcbench: "window:period:warmup" with an optional ":seed" (default 1).
+// The parsed schedule is validated.
+func ParseSamplingSpec(spec string) (SamplingParams, error) {
+	var p SamplingParams
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 && len(parts) != 4 {
+		return p, fmt.Errorf("sampling spec wants window:period:warmup[:seed], got %q", spec)
+	}
+	fields := []*uint64{&p.WindowInsts, &p.PeriodInsts, &p.WarmupInsts, &p.Seed}
+	p.Seed = 1
+	for i, part := range parts {
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("sampling spec field %d (%q): %v", i+1, part, err)
+		}
+		*fields[i] = v
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
 }
 
 // DefaultConfig returns the paper's baseline trace-cache machine
@@ -208,6 +281,9 @@ func (c Config) Validate() error {
 		if err := cc.Validate(); err != nil {
 			return fmt.Errorf("sim %q: %w", c.Name, err)
 		}
+	}
+	if err := c.Sampling.Validate(); err != nil {
+		return fmt.Errorf("sim %q: %w", c.Name, err)
 	}
 	return nil
 }

@@ -141,6 +141,12 @@ type Simulator struct {
 
 	haltSeen bool
 
+	// noFetch suppresses new fetch initiation while DrainPipeline empties
+	// the machine at a sampling-phase boundary; in-flight work (pending
+	// bundle delivery, inject queue, dispatched instructions) completes
+	// through the ordinary paths.
+	noFetch bool
+
 	srcBuf []isa.Reg
 	seqBuf []uint64
 	fiBuf  []*fetch.FetchedInst
@@ -909,6 +915,10 @@ func (s *Simulator) fetch(deliveredThisCycle bool) {
 	case deliveredThisCycle:
 		// The fetch unit spent this cycle delivering a stalled bundle;
 		// the bundle's record classifies this cycle.
+		return
+	case s.noFetch:
+		// Draining to a sampling-phase boundary: the window sample was
+		// already captured, so this cycle needs no classification.
 		return
 	}
 	if !s.eng.SpaceFor(1) {

@@ -14,7 +14,30 @@ const (
 	// engine over a recorded retired stream: no execution core ran, and
 	// cycle-domain statistics are undefined (see DESIGN.md §9).
 	ProvReplay = "replay"
+	// ProvSampled marks a result estimated by SMARTS-style statistical
+	// sampling: functional fast-forward alternating with short detailed
+	// measurement windows, aggregated into interval estimates
+	// (see DESIGN.md §10). The headline counters are pooled across
+	// windows; they describe the measured subset, not the full stream.
+	ProvSampled = "sampled"
 )
+
+// SamplingMeta records the sampling schedule of a ProvSampled run. It is
+// part of Meta (and thereby of every serialized sampled summary and
+// journal record), so sampled points are never conflated with detailed
+// ones that share a configuration.
+type SamplingMeta struct {
+	// WindowInsts is the detailed measurement window length; WarmupInsts
+	// is the discarded detailed warmup preceding each window; PeriodInsts
+	// is the committed-stream distance between window starts.
+	WindowInsts uint64 `json:"windowInsts"`
+	PeriodInsts uint64 `json:"periodInsts"`
+	WarmupInsts uint64 `json:"warmupInsts"`
+	// Seed drives the per-period window-placement jitter.
+	Seed uint64 `json:"seed"`
+	// Windows is the number of measurement windows actually completed.
+	Windows int `json:"windows"`
+}
 
 // Meta records the provenance of one run so serialized results (summary
 // JSON, time-series files, CI trend data) are self-describing: which
@@ -54,4 +77,7 @@ type Meta struct {
 	Hostname string `json:"hostname,omitempty"`
 	// StartedAt is the run start in RFC 3339 UTC.
 	StartedAt string `json:"startedAt,omitempty"`
+	// Sampling is the sampling schedule of a ProvSampled run; nil on
+	// every other provenance.
+	Sampling *SamplingMeta `json:"sampling,omitempty"`
 }

@@ -280,6 +280,47 @@ func (r *Run) PredsFracs() (zeroOrOne, two, three float64) {
 		float64(r.PredsPerFetch[3]) / t
 }
 
+// Accumulate adds every counter of w into r, leaving Benchmark, Config
+// and Meta untouched. Sampled runs use it to pool the per-window
+// measurement counters into one Run whose ratio statistics (IPC,
+// effective fetch rate, mispredict rate) become instruction-weighted
+// estimates over the measured subset. TestAccumulateCoversAllFields
+// guards that new Run counters are added here too.
+func (r *Run) Accumulate(w *Run) {
+	r.Cycles += w.Cycles
+	r.Retired += w.Retired
+	r.Fetches += w.Fetches
+	r.FetchedCorrect += w.FetchedCorrect
+	r.FetchedWrong += w.FetchedWrong
+	for size := range w.Hist.Counts {
+		for end, c := range w.Hist.Counts[size] {
+			r.Hist.Counts[size][end] += c
+		}
+	}
+	for i, c := range w.PredsPerFetch {
+		r.PredsPerFetch[i] += c
+	}
+	for i, c := range w.Cycle {
+		r.Cycle[i] += c
+	}
+	r.TCMissCycles += w.TCMissCycles
+	r.CondBranches += w.CondBranches
+	r.CondMispredicts += w.CondMispredicts
+	r.PromotedExecuted += w.PromotedExecuted
+	r.PromotedFaults += w.PromotedFaults
+	r.IndirectJumps += w.IndirectJumps
+	r.IndirectMisses += w.IndirectMisses
+	r.Returns += w.Returns
+	r.ResolutionSum += w.ResolutionSum
+	r.ResolutionsCounted += w.ResolutionsCounted
+	for i, c := range w.CondBySource {
+		r.CondBySource[i] += c
+	}
+	for i, c := range w.MissBySource {
+		r.MissBySource[i] += c
+	}
+}
+
 // PercentChange returns 100*(new-old)/old, or 0 when old is 0.
 func PercentChange(old, new float64) float64 {
 	if old == 0 {

@@ -76,6 +76,9 @@ type gen struct {
 	labelSeq int
 	nextCtr  uint64
 	nextTbl  uint64
+	// pool is the function pool currently being emitted (always 0 unless
+	// CodeScale > 1); calls resolve within the emitting pool.
+	pool int
 	// bitsLeft tracks how many unconsumed random bits remain in rVal at
 	// the current emission point; any construct that clobbers rVal or
 	// breaks straight-line determinism resets it.
@@ -94,9 +97,15 @@ func (p Profile) Generate() (*program.Program, error) {
 		nextCtr: counterBase,
 		nextTbl: tableBase,
 	}
-	// Emit functions leaf-first: f(i) may call f(j) for j < i.
-	for i := 0; i < p.Funcs; i++ {
-		g.emitFunc(i)
+	// Emit functions leaf-first: f(i) may call f(j) for j < i. With
+	// CodeScale > 1 the whole call DAG is replicated per pool; pool 0
+	// draws the same random sequence as an unscaled build, so its code is
+	// identical and the extra pools only append.
+	for pool := 0; pool < g.pools(); pool++ {
+		g.pool = pool
+		for i := 0; i < p.Funcs; i++ {
+			g.emitFunc(i)
+		}
 	}
 	g.emitMain()
 	g.emitStreamData()
@@ -129,6 +138,23 @@ func (g *gen) scratch() isa.Reg {
 	return isa.Reg(rScratchLo + g.rnd.Intn(rScratchHi-rScratchLo+1))
 }
 
+// pools is the number of function pools to emit (CodeScale, floored at 1).
+func (g *gen) pools() int {
+	if g.p.CodeScale > 1 {
+		return g.p.CodeScale
+	}
+	return 1
+}
+
+// fname names function idx of a pool. Pool 0 keeps the unscaled "f%d"
+// names so an unscaled build is byte-identical.
+func (g *gen) fname(pool, idx int) string {
+	if pool == 0 {
+		return fmt.Sprintf("f%d", idx)
+	}
+	return fmt.Sprintf("p%df%d", pool, idx)
+}
+
 func (g *gen) emitMain() {
 	b := g.b
 	b.Here("main")
@@ -144,8 +170,34 @@ func (g *gen) emitMain() {
 	if top > g.p.Funcs {
 		top = g.p.Funcs
 	}
-	for i := 0; i < top; i++ {
-		b.EmitTo(isa.Inst{Op: isa.OpCall}, fmt.Sprintf("f%d", g.p.Funcs-1-i))
+	if pools := g.pools(); pools > 1 {
+		// Paper-scale phase dispatch: the outer trip count selects a
+		// function pool through a jump table, so successive trips rotate
+		// between disjoint static code regions and a long run shows
+		// gcc/go-class phase behaviour instead of one hot loop nest.
+		tbl := g.nextTbl
+		g.nextTbl += uint64(pools) * 8
+		b.Emit(isa.Inst{Op: isa.OpAndI, Rd: rSwitch, Rs1: rOuter, Imm: int64(pools - 1)})
+		b.Emit(isa.Inst{Op: isa.OpMulI, Rd: rSwitch, Rs1: rSwitch, Imm: 8})
+		b.Emit(isa.Inst{Op: isa.OpLoadI, Rd: rAddr, Imm: int64(tbl)})
+		b.Emit(isa.Inst{Op: isa.OpAdd, Rd: rAddr, Rs1: rAddr, Rs2: rSwitch})
+		b.Emit(isa.Inst{Op: isa.OpLoad, Rd: rSwitch, Rs1: rAddr})
+		b.Emit(isa.Inst{Op: isa.OpJmpInd, Rs1: rSwitch})
+		join := g.label("phasejoin")
+		for pp := 0; pp < pools; pp++ {
+			b.Word(tbl+uint64(pp)*8, int64(b.PC()))
+			for i := 0; i < top; i++ {
+				b.EmitTo(isa.Inst{Op: isa.OpCall}, g.fname(pp, g.p.Funcs-1-i))
+			}
+			if pp != pools-1 {
+				b.EmitTo(isa.Inst{Op: isa.OpJmp}, join)
+			}
+		}
+		b.Here(join)
+	} else {
+		for i := 0; i < top; i++ {
+			b.EmitTo(isa.Inst{Op: isa.OpCall}, fmt.Sprintf("f%d", g.p.Funcs-1-i))
+		}
 	}
 	b.Emit(isa.Inst{Op: isa.OpAddI, Rd: rOuter, Rs1: rOuter, Imm: -1})
 	b.EmitTo(isa.Inst{Op: isa.OpBr, Cond: isa.CondGT, Rs1: rOuter, Rs2: 0}, "outer")
@@ -155,7 +207,7 @@ func (g *gen) emitMain() {
 
 func (g *gen) emitFunc(idx int) {
 	g.bitsLeft = 0 // callers leave rVal in an unknown state
-	g.b.Here(fmt.Sprintf("f%d", idx))
+	g.b.Here(g.fname(g.pool, idx))
 	n := g.rangeInt(g.p.StepsPerFunc)
 	for i := 0; i < n; i++ {
 		g.emitStep(idx, 0)
@@ -174,7 +226,7 @@ func (g *gen) emitStep(fidx, depth int) {
 	case r < p.TrapProb+p.SwitchProb:
 		g.emitSwitch()
 	case r < p.TrapProb+p.SwitchProb+p.CallProb && fidx > 0:
-		g.b.EmitTo(isa.Inst{Op: isa.OpCall}, fmt.Sprintf("f%d", g.rnd.Intn(fidx)))
+		g.b.EmitTo(isa.Inst{Op: isa.OpCall}, g.fname(g.pool, g.rnd.Intn(fidx)))
 		g.bitsLeft = 0 // the callee consumed stream bits
 	case r < p.TrapProb+p.SwitchProb+p.CallProb+p.LoopProb && depth < 2:
 		g.emitLoop(fidx, depth)

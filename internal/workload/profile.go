@@ -65,6 +65,15 @@ type Profile struct {
 	// OuterTrips bounds the outer loop so programs halt; simulations are
 	// normally budget-limited long before this.
 	OuterTrips int64
+
+	// CodeScale grows the static code footprint toward the paper-scale
+	// gcc/go class: when >= 2 (a power of two, at most 64) the generator
+	// emits CodeScale disjoint pools of Funcs functions and the outer
+	// loop rotates through the pools on successive trips, so a long
+	// sampled run walks between static code regions on a phase-like
+	// timescale instead of re-fetching one small loop nest. 0 or 1
+	// leaves generation byte-identical to the unscaled program.
+	CodeScale int
 }
 
 // Validate reports profile errors.
@@ -103,7 +112,26 @@ func (p Profile) Validate() error {
 			return fmt.Errorf("workload %s: pattern period %d not a power of two > 1", p.Name, k)
 		}
 	}
+	if s := p.CodeScale; s > 1 && (s&(s-1) != 0 || s > 64) {
+		return fmt.Errorf("workload %s: CodeScale %d not a power of two <= 64", p.Name, s)
+	}
+	if p.CodeScale < 0 {
+		return fmt.Errorf("workload %s: negative CodeScale", p.Name)
+	}
 	return nil
+}
+
+// Scaled returns a copy of the profile with CodeScale set, named
+// "<name>x<scale>" so run metadata and memo keys cannot conflate it with
+// the unscaled benchmark. Scale values 0 and 1 return the profile
+// unchanged.
+func (p Profile) Scaled(scale int) Profile {
+	if scale <= 1 {
+		return p
+	}
+	p.CodeScale = scale
+	p.Name = fmt.Sprintf("%sx%d", p.Name, scale)
+	return p
 }
 
 func base(name string, seed int64) Profile {

@@ -216,6 +216,106 @@ func TestGeneratedCodeSizesDiffer(t *testing.T) {
 	}
 }
 
+// TestCodeScaleZeroIsByteIdentical pins the growth knob's compatibility
+// contract: CodeScale 0 and 1 generate exactly the program an unscaled
+// build produces, instruction for instruction and data word for data word.
+func TestCodeScaleZeroIsByteIdentical(t *testing.T) {
+	for _, name := range []string{"gcc", "compress", "gnuplot"} {
+		p, _ := ByName(name)
+		ref := p.MustGenerate()
+		for _, scale := range []int{0, 1} {
+			q := p
+			q.CodeScale = scale
+			got := q.MustGenerate()
+			if len(got.Code) != len(ref.Code) {
+				t.Fatalf("%s scale %d: code size %d != %d", name, scale, len(got.Code), len(ref.Code))
+			}
+			for i := range ref.Code {
+				if got.Code[i] != ref.Code[i] {
+					t.Fatalf("%s scale %d: instruction %d differs", name, scale, i)
+				}
+			}
+			if len(got.Data) != len(ref.Data) {
+				t.Fatalf("%s scale %d: data size %d != %d", name, scale, len(got.Data), len(ref.Data))
+			}
+			for addr, v := range ref.Data {
+				if got.Data[addr] != v {
+					t.Fatalf("%s scale %d: data word %#x differs", name, scale, addr)
+				}
+			}
+		}
+	}
+}
+
+// TestCodeScaleGrowsFootprintAndExecutes verifies the paper-scale knob:
+// the static image grows roughly with the scale, pool 0 is an exact
+// prefix of the unscaled code, and the scaled program executes through
+// several pool rotations without leaving the image.
+func TestCodeScaleGrowsFootprintAndExecutes(t *testing.T) {
+	p, _ := ByName("gcc")
+	ref := p.MustGenerate()
+	sp := p.Scaled(4)
+	if sp.Name != "gccx4" || sp.CodeScale != 4 {
+		t.Fatalf("Scaled: name %q scale %d", sp.Name, sp.CodeScale)
+	}
+	prog := sp.MustGenerate()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Code) < 3*len(ref.Code) {
+		t.Fatalf("scaled code %d, want >= 3x unscaled %d", len(prog.Code), len(ref.Code))
+	}
+	// Pool 0 is emitted first with the same random draws, so the unscaled
+	// function bodies are a literal prefix of the scaled image.
+	for i, in := range ref.Code[:len(ref.Code)/2] {
+		if prog.Code[i] != in {
+			t.Fatalf("pool 0 diverges from unscaled code at instruction %d", i)
+		}
+	}
+	// Execute long enough to cross all four pools (one per outer trip) and
+	// verify the stream actually visits code beyond the unscaled footprint.
+	visitedHigh := false
+	s := exec.NewState(prog)
+	pc := prog.Entry
+	for i := 0; i < 400_000; i++ {
+		info := s.StepAt(pc)
+		if info.OffImage {
+			t.Fatalf("execution left the code image at pc %d", info.PC)
+		}
+		if info.Halted {
+			t.Fatalf("scaled program halted after %d instructions", i)
+		}
+		if info.PC >= len(ref.Code) {
+			visitedHigh = true
+		}
+		pc = info.NextPC
+	}
+	if !visitedHigh {
+		t.Error("scaled run never left the pool-0 footprint; phase dispatch is broken")
+	}
+}
+
+func TestCodeScaleValidation(t *testing.T) {
+	p, _ := ByName("gcc")
+	for _, bad := range []int{-1, 3, 6, 128} {
+		q := p
+		q.CodeScale = bad
+		if err := q.Validate(); err == nil {
+			t.Errorf("CodeScale %d accepted", bad)
+		}
+	}
+	for _, good := range []int{0, 1, 2, 16, 64} {
+		q := p
+		q.CodeScale = good
+		if err := q.Validate(); err != nil {
+			t.Errorf("CodeScale %d rejected: %v", good, err)
+		}
+	}
+	if got := p.Scaled(1); got.Name != "gcc" || got.CodeScale != 0 {
+		t.Errorf("Scaled(1) changed the profile: %q scale %d", got.Name, got.CodeScale)
+	}
+}
+
 func TestSwitchTablesResolve(t *testing.T) {
 	p, _ := ByName("python") // switch-heavy
 	prog := p.MustGenerate()

@@ -18,7 +18,7 @@ BENCHTIME="${BENCHTIME:-3x}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run xxx -bench 'SimulatorThroughput|Suite|WarmupSweep|FastForwardAccuracy|FrontEndSweep|ReplayAccuracy' \
+go test -run xxx -bench 'SimulatorThroughput|Suite|WarmupSweep|FastForwardAccuracy|FrontEndSweep|ReplayAccuracy|SampledSweep|SampledAccuracy' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
 
 # pick BENCH UNIT: prints the value whose following field is UNIT on the
@@ -47,16 +47,30 @@ REP_BASE_EFF="$(pick ReplayAccuracy 'baseline-eff-delta-%')"
 REP_BASE_MISP="$(pick ReplayAccuracy 'baseline-mispredict-delta-pp')"
 REP_BEST_EFF="$(pick ReplayAccuracy 'best-eff-delta-%')"
 REP_BEST_MISP="$(pick ReplayAccuracy 'best-mispredict-delta-pp')"
+SAM_DET_NS="$(pick SampledSweepDetailed 'ns/op')"
+SAM_NS="$(pick SampledSweepSampled 'ns/op')"
+SAM_BASE_IPC="$(pick SampledAccuracy 'baseline-ipc-delta-%')"
+SAM_BASE_EFF="$(pick SampledAccuracy 'baseline-eff-delta-%')"
+SAM_BASE_MISP="$(pick SampledAccuracy 'baseline-mispredict-delta-pp')"
+SAM_BASE_CI="$(pick SampledAccuracy 'baseline-ipc-ci-halfwidth')"
+SAM_BASE_COV="$(pick SampledAccuracy 'baseline-covered-of-3')"
+SAM_BEST_IPC="$(pick SampledAccuracy 'best-ipc-delta-%')"
+SAM_BEST_EFF="$(pick SampledAccuracy 'best-eff-delta-%')"
+SAM_BEST_MISP="$(pick SampledAccuracy 'best-mispredict-delta-pp')"
+SAM_BEST_CI="$(pick SampledAccuracy 'best-ipc-ci-halfwidth')"
+SAM_BEST_COV="$(pick SampledAccuracy 'best-covered-of-3')"
 
 if [ -z "$INSTS_S" ] || [ -z "$SEQ_NS" ] || [ -z "$PAR_NS" ] ||
 	[ -z "$DET_NS" ] || [ -z "$CKPT_NS" ] || [ -z "$IPC_DELTA" ] ||
 	[ -z "$CHK_INSTS_S" ] || [ -z "$FES_DET_NS" ] || [ -z "$FES_REP_NS" ] ||
-	[ -z "$REP_BASE_EFF" ] || [ -z "$REP_BEST_EFF" ]; then
+	[ -z "$REP_BASE_EFF" ] || [ -z "$REP_BEST_EFF" ] ||
+	[ -z "$SAM_DET_NS" ] || [ -z "$SAM_NS" ] || [ -z "$SAM_BASE_IPC" ]; then
 	echo "bench.sh: failed to parse benchmark output" >&2
 	exit 1
 fi
 
 SPEEDUP="$(awk -v s="$SEQ_NS" -v p="$PAR_NS" 'BEGIN { printf "%.2f", s / p }')"
+SAM_SPEEDUP="$(awk -v d="$SAM_DET_NS" -v s="$SAM_NS" 'BEGIN { printf "%.2f", d / s }')"
 REPLAY_SPEEDUP="$(awk -v d="$FES_DET_NS" -v r="$FES_REP_NS" 'BEGIN { printf "%.2f", d / r }')"
 CHK_SLOWDOWN="$(awk -v p="$INSTS_S" -v c="$CHK_INSTS_S" 'BEGIN { printf "%.2f", p / c }')"
 FF_SPEEDUP="$(awk -v d="$DET_NS" -v c="$CKPT_NS" 'BEGIN { printf "%.2f", d / c }')"
@@ -114,6 +128,23 @@ cat > BENCH_perf.json <<EOF
     "baseline_mispredict_rate_delta_pp": $REP_BASE_MISP,
     "promo_pack_costreg_eff_fetch_rate_delta_pct": $REP_BEST_EFF,
     "promo_pack_costreg_mispredict_rate_delta_pp": $REP_BEST_MISP
+  },
+  "sampling": {
+    "benchmark": "BenchmarkSampledSweepDetailed / BenchmarkSampledSweepSampled / BenchmarkSampledAccuracy",
+    "note": "6-point sweep (baseline,icache,promo-pack-costreg x gcc,go) over a 400k committed-stream extent per point, workers=1; the sampled variant covers the extent with 10 windows of 1k insts + 1k detailed warmup each (SMARTS-style, see DESIGN.md). Accuracy is sampled-vs-detailed on gcc over a fully-detailed-feasible 1M extent (20 windows, 5k warmup); covered_of_3 counts headline metrics (IPC, eff fetch rate, mispredict rate) whose detailed truth falls inside the sampled 95% CI. Committed experiment numbers remain fully detailed (sampling is opt-in).",
+    "detailed_sweep_ns_per_op": $SAM_DET_NS,
+    "sampled_sweep_ns_per_op": $SAM_NS,
+    "sampled_sweep_speedup": $SAM_SPEEDUP,
+    "baseline_ipc_delta_pct": $SAM_BASE_IPC,
+    "baseline_eff_fetch_rate_delta_pct": $SAM_BASE_EFF,
+    "baseline_mispredict_rate_delta_pp": $SAM_BASE_MISP,
+    "baseline_ipc_ci_halfwidth": $SAM_BASE_CI,
+    "baseline_covered_of_3": $SAM_BASE_COV,
+    "promo_pack_costreg_ipc_delta_pct": $SAM_BEST_IPC,
+    "promo_pack_costreg_eff_fetch_rate_delta_pct": $SAM_BEST_EFF,
+    "promo_pack_costreg_mispredict_rate_delta_pp": $SAM_BEST_MISP,
+    "promo_pack_costreg_ipc_ci_halfwidth": $SAM_BEST_CI,
+    "promo_pack_costreg_covered_of_3": $SAM_BEST_COV
   },
   "pre_pr_baseline": {
     "note": "measured before the parallel sweep engine + allocation diet (sequential runner, cpus=1)",

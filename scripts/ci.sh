@@ -101,6 +101,17 @@ go test ./internal/trace/
 go test -run 'TestReplay|TestRecord|TestRunnerReplay|TestCompareReplay' \
 	./internal/sim/ ./internal/experiments/ ./internal/check/
 
+echo "== sampling smoke (schedule audit + CI-vs-truth fidelity on both headline configs) =="
+go run ./cmd/tcsim -bench gcc -config baseline \
+	-sample 1000:20000:1000 -insts 200000 -json >/dev/null
+go run ./cmd/tcsim -bench gcc -config promo-pack-costreg -check \
+	-sample 1000:20000:1000 -insts 100000 -json >/dev/null
+# CompareSampled (internal/check) asserts the sampled estimates cover a
+# fully detailed run of the same extent within the committed tolerance.
+go test -run 'TestRunMatchesDetailedTruth|TestRunAuditAndShape|TestRunDeterminism' \
+	./internal/sampling/
+go test -run 'TestCompareSampled|TestSamplingAudit' ./internal/check/
+
 echo "== benchmark smoke =="
 go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .
 

@@ -25,6 +25,8 @@
 package tracecache
 
 import (
+	"fmt"
+
 	"tracecache/internal/checkpoint"
 	"tracecache/internal/config"
 	"tracecache/internal/core"
@@ -34,6 +36,7 @@ import (
 	"tracecache/internal/monitor"
 	"tracecache/internal/obs"
 	"tracecache/internal/program"
+	"tracecache/internal/sampling"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
 	"tracecache/internal/workload"
@@ -66,6 +69,12 @@ type (
 	// predictors, L1I) from a recorded retired stream; cycle-domain
 	// statistics are undefined under replay.
 	Replayer = sim.Replayer
+	// SamplingParams is the schedule of the sampled execution mode
+	// (Config.Sampling): window, period, per-window warmup, placement seed.
+	SamplingParams = sim.SamplingParams
+	// SampledRun is the aggregate of one sampled run: per-window samples
+	// plus mean/stderr/95% CI estimates of the headline metrics.
+	SampledRun = stats.Sampled
 )
 
 // Packing policies (Section 5 of the paper).
@@ -154,6 +163,37 @@ func Simulate(cfg Config, prog *Program) (*Run, error) {
 		return nil, err
 	}
 	return s.Run(), nil
+}
+
+// SimulateSampled estimates the program's statistics by SMARTS-style
+// statistical sampling: cfg.MaxInsts becomes the total committed-stream
+// budget, covered by alternating functional fast-forward and short
+// detailed windows per cfg.Sampling, and the per-window measurements
+// aggregate into means with 95% confidence intervals (see DESIGN.md §10
+// for the fidelity contract). The error includes any sampling-audit
+// violation, so a successful return is a verified schedule.
+func SimulateSampled(cfg Config, prog *Program) (*SampledRun, error) {
+	s, err := sim.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sampling.Run(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Violations) > 0 {
+		return nil, errSamplingAudit{n: len(res.Violations), first: res.Violations[0].Detail}
+	}
+	return res.Sampled, nil
+}
+
+type errSamplingAudit struct {
+	n     int
+	first string
+}
+
+func (e errSamplingAudit) Error() string {
+	return fmt.Sprintf("tracecache: sampling audit: %d violation(s), first: %s", e.n, e.first)
 }
 
 // CaptureCheckpoint executes the program functionally for up to insts
