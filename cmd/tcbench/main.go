@@ -36,6 +36,7 @@ import (
 	"tracecache/internal/monitor"
 	"tracecache/internal/obs"
 	"tracecache/internal/profiler"
+	"tracecache/internal/resultstore"
 	"tracecache/internal/sim"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		replay   = flag.Bool("replay", false, "record each benchmark's retired stream once and replay it for every front-end-equivalent point (cycle-domain statistics undefined on replayed points; see DESIGN.md §9)")
 		traceDir = flag.String("tracedir", "", "with -replay, persist and reuse recorded streams in this directory")
 		sample   = flag.String("sample", "", "run the sampled headline comparison with schedule window:period:warmup[:seed]; -insts becomes the total committed-stream budget per benchmark and -exp is ignored (see DESIGN.md §10)")
+		storeDir = flag.String("store", "", "consult and populate this persistent result-store directory (shared with tcserve and other tcbench runs; see DESIGN.md §11)")
 	)
 	flag.Parse()
 
@@ -113,6 +115,14 @@ func main() {
 	r.Check = *check
 	r.Replay = *replay
 	r.TraceDir = *traceDir
+	if *storeDir != "" {
+		store, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			os.Exit(1)
+		}
+		r.Store = store
+	}
 	if *progress {
 		r.Log = os.Stderr
 	}
@@ -146,6 +156,9 @@ func main() {
 		reg := metrics.NewRegistry()
 		m := experiments.InstrumentRunner(reg)
 		r.Metrics = m
+		if r.Store != nil {
+			r.Store.Metrics = resultstore.InstrumentStore(reg)
+		}
 		var listeners []func(experiments.RunEvent)
 		if *jPath != "" {
 			var err error

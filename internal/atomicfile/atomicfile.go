@@ -1,0 +1,115 @@
+// Package atomicfile installs files atomically: content is written to a
+// temporary file in the destination directory, synced, and renamed into
+// place, so readers never observe a partially written file and a crash
+// leaves at most a stray temporary.
+//
+// Rename degrades gracefully on EXDEV: some filesystems report
+// cross-device links even for paths that appear to share a mount point
+// (bind mounts, overlayfs layers as used by containers), where a plain
+// os.Rename fails. The fallback copies the source next to the
+// destination, syncs, and renames within the destination directory —
+// preserving the readers-never-see-partial-content guarantee, since the
+// final installing rename is always same-directory.
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// renameOS is the rename syscall wrapper; tests swap it to inject EXDEV.
+var renameOS = os.Rename
+
+// WriteFile atomically installs data at path: temp file in the
+// destination directory, write, sync, close, rename. On any error the
+// temporary is removed and path is untouched (it keeps its previous
+// content, if any).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Rename moves oldpath to newpath. When the rename fails with EXDEV
+// (destination on a different filesystem, or an overlay/bind-mount
+// boundary), it falls back to copy+sync into a temporary beside newpath
+// followed by a same-directory rename, then removes oldpath. Any other
+// rename error is returned as-is (wrapped).
+func Rename(oldpath, newpath string) error {
+	err := renameOS(oldpath, newpath)
+	if err == nil {
+		return nil
+	}
+	if !isEXDEV(err) {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	data, rerr := os.ReadFile(oldpath)
+	if rerr != nil {
+		return fmt.Errorf("atomicfile: exdev fallback: %w", rerr)
+	}
+	dir := filepath.Dir(newpath)
+	tmp, terr := os.CreateTemp(dir, filepath.Base(newpath)+".xdev*")
+	if terr != nil {
+		return fmt.Errorf("atomicfile: exdev fallback: %w", terr)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: exdev fallback: %w", err)
+	}
+	if _, werr := tmp.Write(data); werr != nil {
+		return cleanup(werr)
+	}
+	if serr := tmp.Sync(); serr != nil {
+		return cleanup(serr)
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: exdev fallback: %w", cerr)
+	}
+	// The installing rename is same-directory; if even that reports
+	// EXDEV the destination directory itself is unusable for atomic
+	// installs and the error is real.
+	if ferr := renameOS(tmpName, newpath); ferr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: exdev fallback: %w", ferr)
+	}
+	os.Remove(oldpath)
+	return nil
+}
+
+// isEXDEV reports whether err is the cross-device link errno, on any
+// wrapping level (os wraps it in *os.LinkError).
+func isEXDEV(err error) bool {
+	return errors.Is(err, syscall.EXDEV)
+}

@@ -1,0 +1,14 @@
+package atomicfile
+
+import "os"
+
+// SetRename swaps the rename syscall wrapper for tests (EXDEV injection)
+// and returns a restore function.
+func SetRename(f func(old, new string) error) (restore func()) {
+	prev := renameOS
+	if f == nil {
+		f = os.Rename
+	}
+	renameOS = f
+	return func() { renameOS = prev }
+}

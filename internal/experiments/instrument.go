@@ -85,7 +85,7 @@ func MultiListener(ls ...func(RunEvent)) func(RunEvent) {
 // one RunnerMetrics serves any number of concurrent sweeps; the identities
 //
 //	MemoMisses == RunsCompleted + RunsFailed (every miss simulates)
-//	RunsCompleted == CheckpointForks + ColdStarts + Replays + SampledRuns
+//	RunsCompleted == CheckpointForks + ColdStarts + Replays + SampledRuns + StoreServed
 //
 // hold whenever the runner is quiescent.
 type RunnerMetrics struct {
@@ -95,12 +95,14 @@ type RunnerMetrics struct {
 	// MemoHits counts requests resolved by singleflight sharing;
 	// MemoMisses counts requests that had to simulate.
 	MemoHits, MemoMisses *metrics.Counter
-	// CheckpointForks, ColdStarts, Replays and SampledRuns partition
-	// completed runs by provenance: restored from a shared warm checkpoint,
-	// simulated from scratch, resolved by the front-end replay fast path,
-	// or estimated by the statistical-sampling path (which counts as
-	// sampled regardless of whether its functional prefix was forked).
-	CheckpointForks, ColdStarts, Replays, SampledRuns *metrics.Counter
+	// CheckpointForks, ColdStarts, Replays, SampledRuns and StoreServed
+	// partition completed runs by provenance: restored from a shared warm
+	// checkpoint, simulated from scratch, resolved by the front-end replay
+	// fast path, estimated by the statistical-sampling path (which counts
+	// as sampled regardless of whether its functional prefix was forked),
+	// or served verbatim from the persistent result store (zero
+	// simulation).
+	CheckpointForks, ColdStarts, Replays, SampledRuns, StoreServed *metrics.Counter
 	// WorkersBusy is the current worker-pool occupancy; WorkersLimit is
 	// the pool size (set when the pool is created).
 	WorkersBusy, WorkersLimit *metrics.Gauge
@@ -134,6 +136,8 @@ func InstrumentRunner(r *metrics.Registry) *RunnerMetrics {
 			"Completed runs resolved by the front-end replay fast path."),
 		SampledRuns: r.Counter("tracecache_runner_sampled_runs_total",
 			"Completed runs estimated by the statistical-sampling path."),
+		StoreServed: r.Counter("tracecache_runner_store_served_total",
+			"Completed runs served verbatim from the persistent result store."),
 		WorkersBusy: r.Gauge("tracecache_runner_workers_busy",
 			"Worker slots currently held by executing simulations."),
 		WorkersLimit: r.Gauge("tracecache_runner_workers_limit",

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tracecache/internal/atomicfile"
 	"tracecache/internal/program"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
@@ -86,19 +87,16 @@ func (r *Runner) loadTrace(cfg sim.Config, prog *program.Program) (trace.Header,
 }
 
 // saveTrace persists a completed recording under its content-addressed
-// name. Persistence is best-effort: a failure is logged, never fails the
+// name, atomically (temp + rename with an EXDEV copy fallback, so a
+// -tracedir on a mounted volume works; see internal/atomicfile).
+// Persistence is best-effort: a failure is logged, never fails the
 // simulation that produced the recording.
 func (r *Runner) saveTrace(key string, data []byte, h trace.Header) {
 	if r.TraceDir == "" {
 		return
 	}
 	path := filepath.Join(r.TraceDir, h.FileName())
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		r.logf("warning: %s: persist trace: %v\n", key, err)
-		return
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 		r.logf("warning: %s: persist trace: %v\n", key, err)
 	}
 }

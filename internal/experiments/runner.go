@@ -34,6 +34,7 @@ import (
 
 	"tracecache/internal/obs"
 	"tracecache/internal/program"
+	"tracecache/internal/resultstore"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
 	"tracecache/internal/trace"
@@ -86,6 +87,20 @@ type Runner struct {
 	// recording each benchmark exactly once across process lifetimes.
 	// Set before the first Run call.
 	TraceDir string
+	// Store, when non-nil, is the persistent content-addressed result
+	// store consulted before every simulation (after the in-process memo,
+	// before replay and the worker's detailed run): a valid entry whose
+	// key — full configuration hash, benchmark, execution mode — matches
+	// the request is served verbatim with stats.ProvStore provenance and
+	// zero simulation; a completed simulation is persisted back, so later
+	// processes and users pay nothing for the same point. Mode matching is
+	// fidelity-preserving (DESIGN.md §11): detailed requests are served
+	// only from detailed entries, Replay-mode requests may also accept
+	// replay entries, sampled requests only sampled ones. Check runs
+	// bypass the store entirely in both directions — a checked run must
+	// actually simulate, and its purpose is to distrust stored numbers.
+	// Set before the first Run call.
+	Store *resultstore.Store
 	// Sampling, when enabled, is the schedule RunSampledE and SweepSampledE
 	// drive (see internal/sampling): Budget becomes the total committed-
 	// stream extent each sampled run covers, window/period/warmup/seed come
@@ -250,6 +265,8 @@ func (r *Runner) shared(cfg sim.Config, bench string, prep func(*sim.Config, *pr
 				m.CheckpointForks.Inc()
 			case stats.ProvReplay:
 				m.Replays.Inc()
+			case stats.ProvStore:
+				m.StoreServed.Inc()
 			default:
 				m.ColdStarts.Inc()
 			}
@@ -279,6 +296,12 @@ type simResult struct {
 // from configuration or simulator internals into errors so a bad config in
 // a parallel sweep fails that sweep instead of the process.
 func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*sim.Config, *program.Program)) (res simResult) {
+	// Registered before the recover defer, so it runs after it (LIFO) and
+	// observes the final result — including panics converted to errors,
+	// which it must not persist.
+	defer func() {
+		r.storePut(cfg, bench, res.provenance, res.run, nil)
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			res = simResult{err: fmt.Errorf("experiments: %s: panic: %v", key, p),
@@ -323,6 +346,25 @@ func (r *Runner) simulate(key string, cfg sim.Config, bench string, prep func(*s
 	cfg.MaxInsts = r.Budget
 	cfg.FastForwardInsts = r.FastForward
 	cfg.Check = r.Check
+
+	// Persistent-store fast path: a prior process (or job) that simulated
+	// this exact point — same full configuration hash, benchmark, and
+	// fidelity mode — left its result on disk; serve it verbatim. Checked
+	// runs must actually simulate, so Check bypasses the store.
+	if r.Store != nil && !r.Check {
+		modes := []string{resultstore.ModeDetailed}
+		if r.Replay {
+			// A replay-mode request accepts either fidelity class it could
+			// itself have produced: a replayed point or the detailed run
+			// that recorded the stream.
+			modes = []string{resultstore.ModeReplay, resultstore.ModeDetailed}
+		}
+		if e := r.storeGet(cfg, bench, modes); e != nil {
+			res.run = e.Run
+			res.provenance = stats.ProvStore
+			return res
+		}
+	}
 
 	// Replay fast path: the benchmark's first request resolves the shared
 	// recording (from TraceDir or by recording during its own detailed

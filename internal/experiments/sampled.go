@@ -8,6 +8,7 @@ import (
 
 	"tracecache/internal/config"
 	"tracecache/internal/core"
+	"tracecache/internal/resultstore"
 	"tracecache/internal/sampling"
 	"tracecache/internal/sim"
 	"tracecache/internal/stats"
@@ -74,13 +75,17 @@ func (r *Runner) RunSampledE(cfg sim.Config, bench string) (*stats.Sampled, erro
 			m.RunsFailed.Inc()
 		} else {
 			m.RunsCompleted.Inc()
-			m.SampledRuns.Inc()
+			if res.provenance == stats.ProvStore {
+				m.StoreServed.Inc()
+			} else {
+				m.SampledRuns.Inc()
+			}
 		}
 	}
 	r.emit(RunEvent{
 		Phase: RunDone, Key: key, Config: cfg.Name, Benchmark: bench,
 		Run: res.run, Err: res.err,
-		Provenance: stats.ProvSampled,
+		Provenance: res.provenance,
 		QueueWait:  res.queueWait, Wall: res.wall,
 	})
 	close(e.done)
@@ -89,11 +94,12 @@ func (r *Runner) RunSampledE(cfg sim.Config, bench string) (*stats.Sampled, erro
 
 // sampledSimResult mirrors simResult for the sampled path.
 type sampledSimResult struct {
-	run       *stats.Run
-	sampled   *stats.Sampled
-	err       error
-	queueWait time.Duration
-	wall      time.Duration
+	run        *stats.Run
+	sampled    *stats.Sampled
+	err        error
+	provenance string
+	queueWait  time.Duration
+	wall       time.Duration
 }
 
 // simulateSampled executes one sampled run under a worker slot: shared
@@ -101,6 +107,11 @@ type sampledSimResult struct {
 // sampling driver for the schedule, and a hard failure on any sampling-
 // audit or self-check violation.
 func (r *Runner) simulateSampled(key string, cfg sim.Config, bench string) (res sampledSimResult) {
+	// Registered before the recover defer so it runs after it (LIFO) and
+	// never persists a panic-converted result.
+	defer func() {
+		r.storePut(cfg, bench, res.provenance, res.run, res.sampled)
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			res = sampledSimResult{err: fmt.Errorf("experiments: %s: panic: %v", key, p),
@@ -143,6 +154,18 @@ func (r *Runner) simulateSampled(key string, cfg sim.Config, bench string) (res 
 	cfg.FastForwardInsts = r.FastForward
 	cfg.Sampling = r.Sampling
 	cfg.Check = r.Check
+	res.provenance = stats.ProvSampled
+
+	// Persistent-store fast path: sampled estimates are their own fidelity
+	// class, so only a sampled entry — same configuration hash (schedule
+	// included) and benchmark — can serve a sampled request.
+	if r.Store != nil && !r.Check {
+		if e := r.storeGet(cfg, bench, []string{resultstore.ModeSampled}); e != nil && e.Sampled != nil {
+			res.run, res.sampled = e.Run, e.Sampled
+			res.provenance = stats.ProvStore
+			return res
+		}
+	}
 
 	s, err := sim.New(cfg, prog)
 	if err != nil {

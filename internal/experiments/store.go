@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"tracecache/internal/resultstore"
+	"tracecache/internal/sim"
+	"tracecache/internal/stats"
+)
+
+// storeKey addresses one point in the persistent store: the full
+// configuration hash (cfg must carry its final budgets — WarmupInsts,
+// MaxInsts, FastForwardInsts, Sampling — when called, matching what
+// stats.Meta.ConfigHash records), the benchmark, and the fidelity mode.
+func storeKey(cfg sim.Config, bench, mode string) resultstore.Key {
+	return resultstore.Key{ConfigHash: cfg.Hash(), Benchmark: bench, Mode: mode}
+}
+
+// storeGet looks the point up under each acceptable mode in preference
+// order and returns the first usable entry, or nil on miss. Store
+// corruption is logged and treated as a miss — the point re-simulates.
+func (r *Runner) storeGet(cfg sim.Config, bench string, modes []string) *resultstore.Entry {
+	for _, mode := range modes {
+		e, err := r.Store.Get(storeKey(cfg, bench, mode))
+		if err != nil {
+			r.logf("result store: %v\n", err)
+			continue
+		}
+		if e != nil && e.Run != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// storeModeOf maps a run's provenance to its store fidelity mode.
+func storeModeOf(provenance string) string {
+	switch provenance {
+	case stats.ProvReplay:
+		return resultstore.ModeReplay
+	case stats.ProvSampled:
+		return resultstore.ModeSampled
+	default:
+		// Cold and checkpoint-fork runs are both full detailed
+		// measurements; the checkpoint only changed who executed the
+		// functional prefix.
+		return resultstore.ModeDetailed
+	}
+}
+
+// storePut persists one completed result. It is a no-op without a store,
+// for failed or store-served results, and for checked runs (their
+// purpose is to distrust cached numbers, so they neither read nor seed
+// the store). Persistence errors are logged, never fatal: the store is a
+// cache, and losing a put only costs a future re-simulation.
+func (r *Runner) storePut(cfg sim.Config, bench, provenance string, run *stats.Run, sampled *stats.Sampled) {
+	if r.Store == nil || r.Check || run == nil || provenance == stats.ProvStore {
+		return
+	}
+	e := &resultstore.Entry{
+		Key:     storeKey(cfg, bench, storeModeOf(provenance)),
+		Config:  cfg.Name,
+		Run:     run,
+		Sampled: sampled,
+	}
+	if err := r.Store.Put(e); err != nil {
+		r.logf("result store: %v\n", err)
+	}
+}

@@ -4,12 +4,16 @@
 // and how long they took — survives the process and can be summarized or
 // diffed later without re-simulating anything.
 //
-// The format is append-only JSON Lines: one compact JSON object per line,
-// written with a single Write call under a mutex so concurrent runs
-// interleave at record granularity. A process killed mid-write leaves at
-// most one truncated final line, which readers skip (with a warning flag)
-// rather than rejecting the whole journal; corruption anywhere else is an
-// error.
+// The format is append-only JSON Lines: one compact JSON object per line.
+// Each record — JSON plus its trailing newline — is marshaled into one
+// buffer and issued as a single Write, under a mutex against goroutines
+// of the same Writer and on an O_APPEND descriptor against other
+// processes (POSIX makes each O_APPEND write one atomic append), so any
+// number of appenders sharing a journal file — a tcserve daemon and a
+// CLI run, say — interleave at whole-record granularity, never inside a
+// line. A process killed mid-write leaves at most one truncated final
+// line, which readers skip (with a warning flag) rather than rejecting
+// the whole journal; corruption anywhere else is an error.
 package journal
 
 import (
@@ -32,8 +36,10 @@ type Record struct {
 	Config    string `json:"config"`
 	Benchmark string `json:"benchmark"`
 	// Provenance is the request-level result provenance: stats.ProvCold,
-	// stats.ProvCheckpointFork, or stats.ProvMemoized for requests that
-	// shared another request's result. Empty on failed requests.
+	// stats.ProvCheckpointFork, stats.ProvReplay, stats.ProvSampled,
+	// stats.ProvMemoized for requests that shared another request's
+	// result, or stats.ProvStore for requests served from the persistent
+	// result store. Empty on failed requests.
 	Provenance string `json:"provenance,omitempty"`
 	// Error is the failure message of an unsuccessful request; the
 	// headline statistics are zero when it is set.
@@ -86,8 +92,11 @@ type Writer struct {
 // NewWriter wraps an open stream. The caller keeps ownership of it.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 
-// OpenFile opens (creating if needed) a journal file for appending.
-// Close the writer to release it.
+// OpenFile opens (creating if needed) a journal file for appending. The
+// descriptor is opened O_APPEND, which is what makes the file safe to
+// share between processes: each record's single Write is one atomic
+// append at the kernel-maintained end of file, wherever other writers
+// have moved it. Close the writer to release it.
 func OpenFile(path string) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -96,9 +105,12 @@ func OpenFile(path string) (*Writer, error) {
 	return &Writer{w: f, c: f}, nil
 }
 
-// Append writes one record as a single JSON line. The marshal happens
-// outside the lock; the line is written with one Write call so concurrent
-// appends interleave only at record granularity.
+// Append writes one record as a single JSON line: record and newline are
+// marshaled into one buffer (outside the lock) and issued as exactly one
+// Write, so concurrent appenders — goroutines of this Writer, and other
+// processes appending to the same O_APPEND file — interleave only at
+// record granularity, never inside a line. Append on a closed writer
+// discards, like a disabled one.
 func (w *Writer) Append(rec Record) error {
 	if w == nil {
 		return nil // disabled journal: discard
@@ -109,21 +121,33 @@ func (w *Writer) Append(rec Record) error {
 	}
 	line = append(line, '\n')
 	w.mu.Lock()
-	_, err = w.w.Write(line)
-	w.mu.Unlock()
-	if err != nil {
+	defer w.mu.Unlock()
+	if w.w == nil {
+		return nil // closed: discard
+	}
+	if _, err := w.w.Write(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil
 }
 
-// Close closes the underlying file, if the writer owns one. A no-op on a
-// nil (disabled) writer.
+// Close closes the underlying file, if the writer owns one, under the
+// same lock as Append — an in-flight append completes its record before
+// the descriptor closes, and appends after Close discard instead of
+// hitting a closed fd. Idempotent; a no-op on a nil (disabled) writer.
 func (w *Writer) Close() error {
-	if w == nil || w.c == nil {
+	if w == nil {
 		return nil
 	}
-	return w.c.Close()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w = nil
+	if w.c == nil {
+		return nil
+	}
+	c := w.c
+	w.c = nil
+	return c.Close()
 }
 
 // Read parses a journal stream. A final line missing its newline (the

@@ -3,6 +3,7 @@ package journal
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -82,6 +83,99 @@ func TestOpenFileAppends(t *testing.T) {
 	}
 	if len(got) != 2 || got[0].Benchmark != "gcc" || got[1].Benchmark != "go" {
 		t.Errorf("reopened journal = %+v", got)
+	}
+}
+
+// TestMultiWriterInterleaving is the regression test for concurrent
+// appenders sharing one journal file, as a tcserve daemon and a CLI run
+// do: several Writers on independently opened O_APPEND descriptors (the
+// multi-process shape, minus fork), each appending from several
+// goroutines. Every record must come back intact — records interleave,
+// lines never do.
+func TestMultiWriterInterleaving(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	const writers, goroutines, perG = 3, 4, 50
+
+	// A long padding field makes each line span multiple kilobytes, so a
+	// write split into pieces would almost surely interleave mid-line.
+	pad := strings.Repeat("x", 4096)
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		w, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(wi, g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					rec := Record{
+						Config:    "baseline",
+						Benchmark: "gcc",
+						// Error doubles as the payload slot: writer/goroutine/
+						// sequence identity plus padding.
+						Error:   fmt.Sprintf("w%d-g%d-i%d:%s", wi, g, i, pad),
+						Retired: uint64(wi*1000 + g*100 + i),
+					}
+					if err := w.Append(rec); err != nil {
+						t.Errorf("Append: %v", err)
+						return
+					}
+				}
+			}(wi, g)
+		}
+	}
+	wg.Wait()
+
+	recs, truncated, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("interleaved journal does not parse: %v", err)
+	}
+	if truncated {
+		t.Error("fully flushed journal reported a truncated tail")
+	}
+	if want := writers * goroutines * perG; len(recs) != want {
+		t.Fatalf("read back %d records, want %d", len(recs), want)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		id, _, ok := strings.Cut(rec.Error, ":")
+		if !ok || rec.Error[len(id)+1:] != pad {
+			t.Fatalf("record payload corrupted: %.80q...", rec.Error)
+		}
+		if seen[id] {
+			t.Fatalf("record %s appears twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestAppendAfterCloseDiscards checks the Close/Append race contract: a
+// writer closed mid-sweep discards later appends instead of writing to a
+// closed descriptor.
+func TestAppendAfterCloseDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := w.Append(sampleRecords()[1]); err != nil {
+		t.Errorf("Append after Close should discard, got %v", err)
+	}
+	recs, _, err := ReadFile(path)
+	if err != nil || len(recs) != 1 {
+		t.Errorf("journal holds %d records (err=%v), want the pre-Close record only", len(recs), err)
 	}
 }
 

@@ -68,15 +68,18 @@ func Report(recs []Record, truncatedTail bool) string {
 			ok++
 			prov[r.Provenance]++
 		}
-		if r.Provenance != stats.ProvMemoized {
+		// Memoized and store-served requests simulated nothing in this
+		// process; counting their (shared) statistics would inflate the
+		// throughput line.
+		if r.Provenance != stats.ProvMemoized && r.Provenance != stats.ProvStore {
 			retired += r.Retired
 			wallMs += r.WallMillis
 		}
 	}
 	fmt.Fprintf(&sb, "journal: %d records (%d ok, %d failed)\n", len(recs), ok, failed)
-	fmt.Fprintf(&sb, "provenance: %d cold, %d checkpoint-fork, %d replay, %d sampled, %d memoized\n",
+	fmt.Fprintf(&sb, "provenance: %d cold, %d checkpoint-fork, %d replay, %d sampled, %d memoized, %d store\n",
 		prov[stats.ProvCold], prov[stats.ProvCheckpointFork], prov[stats.ProvReplay],
-		prov[stats.ProvSampled], prov[stats.ProvMemoized])
+		prov[stats.ProvSampled], prov[stats.ProvMemoized], prov[stats.ProvStore])
 	if wallMs > 0 {
 		fmt.Fprintf(&sb, "simulated: %d measured insts in %.1fs slot wall (%.0f insts/s)\n",
 			retired, wallMs/1000, float64(retired)/(wallMs/1000))

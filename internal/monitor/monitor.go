@@ -26,6 +26,25 @@ type Server struct {
 	Progress *Progress
 
 	httpSrv *http.Server
+
+	// done signals in-flight streaming handlers (progressSSE) to return
+	// promptly on Close, instead of lingering until their next ticker
+	// fire. Lazily created so a Server used via Handler alone (httptest)
+	// still shuts its streams down.
+	mu        sync.Mutex
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// shutdownChan returns the server's close-signal channel, creating it on
+// first use.
+func (s *Server) shutdownChan() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	return s.done
 }
 
 // expvarOnce guards the process-global expvar publication: the first
@@ -74,8 +93,13 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops a started server, terminating open SSE streams.
+// Close stops a started server. The shutdown signal fires before the
+// listener closes, so in-flight SSE handlers return promptly (they
+// select on it alongside their tick) rather than lingering until the
+// next ticker fire. Idempotent.
 func (s *Server) Close() error {
+	ch := s.shutdownChan()
+	s.closeOnce.Do(func() { close(ch) })
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -116,14 +140,7 @@ func (s *Server) snapshot() Snapshot {
 }
 
 func (s *Server) progress(w http.ResponseWriter, r *http.Request) {
-	if wantSSE(r) {
-		s.progressSSE(w, r)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.snapshot())
+	ProgressHandler(s.snapshot, s.shutdownChan())(w, r)
 }
 
 // wantSSE selects the streaming variant via Accept: text/event-stream or
@@ -146,45 +163,60 @@ func wantSSE(r *http.Request) bool {
 	return false
 }
 
-// progressSSE streams snapshots as Server-Sent Events every ?interval
-// milliseconds (default 1000, minimum 10) until the sweep completes or
-// the client disconnects. The event reporting Complete is the last.
-func (s *Server) progressSSE(w http.ResponseWriter, r *http.Request) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
-		return
-	}
-	interval := 1000
-	if v := r.URL.Query().Get("interval"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			interval = n
-		}
-	}
-	if interval < 10 {
-		interval = 10
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	ticker := time.NewTicker(time.Duration(interval) * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		snap := s.snapshot()
-		data, err := json.Marshal(snap)
-		if err != nil {
+// ProgressHandler serves a progress snapshot source as JSON, or — when
+// the request asks for text/event-stream or ?sse=1 — as a Server-Sent
+// Events stream of snapshots every ?interval milliseconds (default 1000,
+// minimum 10) until the snapshot reports Complete, the client
+// disconnects, or shutdown closes. The event reporting Complete is the
+// last. shutdown may be nil for a handler with no server lifecycle;
+// monitor.Server and the tcserve job endpoints share this handler.
+func ProgressHandler(snap func() Snapshot, shutdown <-chan struct{}) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !wantSSE(r) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap())
 			return
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusNotImplemented)
 			return
 		}
-		flusher.Flush()
-		if snap.Complete {
-			return
+		interval := 1000
+		if v := r.URL.Query().Get("interval"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				interval = n
+			}
 		}
-		select {
-		case <-r.Context().Done():
-			return
-		case <-ticker.C:
+		if interval < 10 {
+			interval = 10
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		ticker := time.NewTicker(time.Duration(interval) * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			s := snap()
+			data, err := json.Marshal(s)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+			if s.Complete {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-shutdown:
+				return
+			case <-ticker.C:
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -160,6 +161,66 @@ func TestProgressSSE(t *testing.T) {
 	}
 	if last := events[len(events)-1]; !last.Complete || last.Done != 1 {
 		t.Errorf("final event = %+v, want complete with one done point", last)
+	}
+}
+
+// sseHandlerGoroutines counts live goroutines currently inside the
+// ProgressHandler SSE loop.
+func sseHandlerGoroutines() int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return strings.Count(string(buf[:n]), "ProgressHandler.func")
+}
+
+// TestCloseTerminatesSSE is the regression test for Server.Close leaving
+// in-flight SSE handlers alive until their next ticker fire: with a 60s
+// client interval and an incomplete sweep, Close must still unblock the
+// stream promptly and the handler goroutine must exit — no leak.
+func TestCloseTerminatesSSE(t *testing.T) {
+	p := NewProgress(1, nil)
+	p.PointQueued("a/x") // never completes, so only Close can end the stream
+	srv := &Server{Progress: p}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/progress?sse=1&interval=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	// First event: the handler is now parked in its 60s select.
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first SSE event: %v", err)
+	}
+	if got := sseHandlerGoroutines(); got == 0 {
+		t.Fatal("SSE handler goroutine not observable before Close")
+	}
+
+	streamClosed := make(chan struct{})
+	go func() {
+		defer close(streamClosed)
+		_, _ = io.Copy(io.Discard, br)
+	}()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-streamClosed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open 5s after Close; handler is waiting out its 60s ticker")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sseHandlerGoroutines() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE handler goroutine leaked after Close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
 	}
 }
 

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"tracecache/internal/config"
+	"tracecache/internal/obs"
+	"tracecache/internal/sim"
+	"tracecache/internal/workload"
+)
+
+// The per-point telemetry endpoints run a fresh direct simulation per
+// request — windowed time-series and trace events need a contiguous
+// detailed run, so they bypass the result store by construction. Budgets
+// default smaller than sweep points (these are synchronous HTTP
+// requests) and are tunable per request: ?warmup=, ?insts=, ?ffwd=.
+
+// pointBudget parses the {config}/{bench} path values and budget query
+// parameters; on failure it has already written the error response.
+func pointBudget(w http.ResponseWriter, r *http.Request) (sim.Config, string, bool) {
+	name := r.PathValue("config")
+	cfg, ok := config.ByName(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown config %q (see /api/configs)", name)
+		return cfg, "", false
+	}
+	bench := r.PathValue("bench")
+	known := false
+	for _, b := range workload.Names() {
+		known = known || b == bench
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown benchmark %q (see /api/benchmarks)", bench)
+		return cfg, "", false
+	}
+	var err error
+	if cfg.WarmupInsts, err = queryUint(r, "warmup", 100_000); err == nil {
+		if cfg.MaxInsts, err = queryUint(r, "insts", 400_000); err == nil {
+			cfg.FastForwardInsts, err = queryUint(r, "ffwd", 0)
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return cfg, "", false
+	}
+	return cfg, bench, true
+}
+
+func queryUint(r *http.Request, key string, def uint64) (uint64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %v", key, s, err)
+	}
+	return v, nil
+}
+
+// checkQuota charges one token; on rejection it has already written the
+// 429 response.
+func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
+	ok, retryAfter := s.quotas.allow(clientKey(r))
+	if !ok {
+		s.met.QuotaRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeError(w, http.StatusTooManyRequests, "quota exceeded, retry in %ds", retryAfter)
+	}
+	return ok
+}
+
+// pointSeries serves the windowed time-series of one point. Default
+// JSON; ?sse=1 streams one event per interval instead (the run itself is
+// synchronous — intervals are emitted once it finishes). ?interval=
+// tunes the window length in cycles.
+func (s *Server) pointSeries(w http.ResponseWriter, r *http.Request) {
+	if !s.checkQuota(w, r) {
+		return
+	}
+	cfg, bench, ok := pointBudget(w, r)
+	if !ok {
+		return
+	}
+	interval, err := queryUint(r, "interval", 10_000)
+	if err != nil || interval == 0 {
+		writeError(w, http.StatusBadRequest, "bad interval")
+		return
+	}
+	prog, err := workload.SharedProgram(bench)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sm, err := sim.New(cfg, prog)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if s.runnerMetrics != nil {
+		sm.AttachMetrics(s.runnerMetrics.Sim)
+	}
+	coll := obs.NewCollector(interval)
+	sm.SetIntervalCollector(coll)
+	sm.Run()
+	ts := coll.Series()
+
+	if r.URL.Query().Get("sse") == "" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = ts.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	for _, iv := range ts.Intervals {
+		data, err := json.Marshal(iv)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: interval\ndata: %s\n\n", data)
+	}
+	fmt.Fprintf(w, "event: done\ndata: {\"intervals\": %d}\n\n", len(ts.Intervals))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// pointTrace serves one point's Chrome/Perfetto trace-event file (open
+// at ui.perfetto.dev). ?events= caps the retained event count.
+func (s *Server) pointTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.checkQuota(w, r) {
+		return
+	}
+	cfg, bench, ok := pointBudget(w, r)
+	if !ok {
+		return
+	}
+	maxEvents, err := queryUint(r, "events", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prog, err := workload.SharedProgram(bench)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sm, err := sim.New(cfg, prog)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if s.runnerMetrics != nil {
+		sm.AttachMetrics(s.runnerMetrics.Sim)
+	}
+	bus := obs.NewBus(0)
+	sm.AttachObserver(bus)
+	chrome := obs.NewChromeTrace(int(maxEvents))
+	bus.Attach(chrome)
+	run := sm.Run()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("inline; filename=%q", cfg.Name+"-"+bench+".trace.json"))
+	_ = chrome.WriteJSON(w, run.Meta)
+}

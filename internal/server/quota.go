@@ -1,0 +1,70 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaPool rate-limits work submission per client: classic token
+// buckets refilled at rate tokens/second up to burst capacity. A
+// negative rate disables the pool.
+type quotaPool struct {
+	rate, burst float64
+	now         func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newQuotaPool(rate, burst float64) *quotaPool {
+	return &quotaPool{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow consumes one token from key's bucket. On rejection it returns
+// the whole seconds until the next token accrues, for Retry-After.
+func (q *quotaPool) allow(key string) (bool, int) {
+	if q.rate < 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, ok := q.buckets[key]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[key] = b
+	}
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, int(math.Ceil((1 - b.tokens) / q.rate))
+}
+
+// clientKey identifies the quota bucket for a request: the X-Client
+// header when the caller names itself, else the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

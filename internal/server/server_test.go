@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer builds a server on dir with fast-test options, mounts it on
+// an httptest server, and tears both down with the test.
+func testServer(t *testing.T, dir string, mutate func(*Options)) (*Server, *httptest.Server) {
+	t.Helper()
+	opts := Options{
+		StoreDir:  dir,
+		Workers:   2,
+		QuotaRate: -1, // most tests are not about quotas
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// smallSpec is a fast 4-point sweep (2 configurations × 2 benchmarks).
+func smallSpec(benches ...string) string {
+	if len(benches) == 0 {
+		benches = []string{"compress", "gcc"}
+	}
+	return fmt.Sprintf(`{"configs":["baseline","packing"],"benchmarks":[%q,%q],"warmupInsts":500,"measureInsts":2000}`,
+		benches[0], benches[1])
+}
+
+// submit posts a spec and decodes the job status it returns.
+func submit(t *testing.T, ts *httptest.Server, spec string) (jobStatusJSON, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatusJSON
+	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode job status: %v", err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// await blocks until the job reaches a terminal state.
+func await(t *testing.T, s *Server, id string) *Job {
+	t.Helper()
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		t.Fatalf("no job %s", id)
+	}
+	select {
+	case <-j.finished:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	return j
+}
+
+// fetch GETs a path and returns status and body.
+func fetch(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestSubmitRunsAndServesResults(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), nil)
+
+	st, code := submit(t, ts, smallSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d, want 201", code)
+	}
+	if st.Points != 4 || st.ID == "" {
+		t.Fatalf("job status = %+v", st)
+	}
+	j := await(t, s, st.ID)
+	if got := j.stateNow(); got != JobDone {
+		t.Fatalf("job state = %s, want done", got)
+	}
+
+	code, body := fetch(t, ts, "/api/jobs/"+st.ID+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("results status = %d: %s", code, body)
+	}
+	var res struct {
+		Points []PointResult `json:"points"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("results hold %d points, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Error != "" || p.Summary == nil {
+			t.Errorf("point %s/%s = %+v", p.Config, p.Benchmark, p)
+		}
+		if p.Summary != nil && p.Summary.Meta != nil {
+			t.Errorf("point %s/%s leaked provenance metadata", p.Config, p.Benchmark)
+		}
+	}
+	// Results payloads never carry provenance.
+	if bytes.Contains(body, []byte("provenance")) {
+		t.Error("results payload mentions provenance")
+	}
+
+	// Provenance lives in job status instead.
+	code, body = fetch(t, ts, "/api/jobs/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status fetch = %d", code)
+	}
+	var done jobStatusJSON
+	if err := json.Unmarshal(body, &done); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range done.Prov {
+		total += n
+	}
+	if total != 4 || !done.Progress.Complete {
+		t.Errorf("terminal status = %+v", done)
+	}
+
+	// The store now holds every point.
+	if n, _ := s.store.Len(); n != 4 {
+		t.Errorf("store holds %d entries, want 4", n)
+	}
+}
+
+// TestResultsByteIdenticalAcrossRestart is the acceptance shape: the same
+// sweep against a fresh daemon sharing the store directory simulates
+// nothing and returns byte-identical results.
+func TestResultsByteIdenticalAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := testServer(t, dir, nil)
+	st1, _ := submit(t, ts1, smallSpec())
+	await(t, s1, st1.ID)
+	code, body1 := fetch(t, ts1, "/api/jobs/"+st1.ID+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("first results = %d", code)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2 := testServer(t, dir, nil) // restarted daemon, same store
+	st2, _ := submit(t, ts2, smallSpec())
+	await(t, s2, st2.ID)
+	code, body2 := fetch(t, ts2, "/api/jobs/"+st2.ID+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("second results = %d", code)
+	}
+
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("results differ across restart:\nfirst  %s\nsecond %s", body1, body2)
+	}
+	if got := s2.runnerMetrics.StoreServed.Value(); got != 4 {
+		t.Errorf("restarted daemon store-served = %d, want 4", got)
+	}
+	if cold, forks := s2.runnerMetrics.ColdStarts.Value(), s2.runnerMetrics.CheckpointForks.Value(); cold+forks != 0 {
+		t.Errorf("restarted daemon simulated: cold=%d forks=%d, want 0", cold, forks)
+	}
+	j2 := await(t, s2, st2.ID)
+	j2.mu.Lock()
+	served := j2.prov["store"]
+	j2.mu.Unlock()
+	if served != 4 {
+		t.Errorf("job provenance tally store = %d, want 4", served)
+	}
+}
+
+// TestCoalescing holds the job gate so the first job stays live, then
+// resubmits the identical spec: it must join the existing job, not
+// create or charge for a new one.
+func TestCoalescing(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), func(o *Options) {
+		o.MaxConcurrentJobs = 1
+		o.QuotaRate = 1
+		o.QuotaBurst = 1 // one submission, then empty
+	})
+	s.jobSem <- struct{}{} // occupy the only slot: jobs queue, stay live
+	defer func() { <-s.jobSem }()
+
+	st1, code := submit(t, ts, smallSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("first submit = %d", code)
+	}
+	// Identical spec joins the live job — 200, same id, no quota charge
+	// even though the bucket is now empty.
+	st2, code := submit(t, ts, smallSpec())
+	if code != http.StatusOK {
+		t.Fatalf("coalesced submit = %d, want 200", code)
+	}
+	if st2.ID != st1.ID {
+		t.Errorf("coalesced into %s, want %s", st2.ID, st1.ID)
+	}
+	if st2.Coalesced != 1 {
+		t.Errorf("coalesced count = %d, want 1", st2.Coalesced)
+	}
+	if got := s.met.JobsCoalesced.Value(); got != 1 {
+		t.Errorf("jobs_coalesced_total = %d, want 1", got)
+	}
+	// A different spec is new work against an empty bucket: 429.
+	_, code = submit(t, ts, smallSpec("go", "li"))
+	if code != http.StatusTooManyRequests {
+		t.Errorf("post-burst submit = %d, want 429", code)
+	}
+}
+
+func TestQuota(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), func(o *Options) {
+		o.QuotaRate = 1
+		o.QuotaBurst = 2
+	})
+	clock := time.Unix(1_700_000_000, 0)
+	s.quotas.now = func() time.Time { return clock }
+
+	specs := []string{smallSpec(), smallSpec("go", "li"), smallSpec("ijpeg", "perl")}
+	for i, spec := range specs[:2] {
+		if _, code := submit(t, ts, spec); code != http.StatusCreated {
+			t.Fatalf("submit %d = %d, want 201", i, code)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/api/jobs", "application/json", strings.NewReader(specs[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.met.QuotaRejected.Value(); got != 1 {
+		t.Errorf("quota_rejected_total = %d, want 1", got)
+	}
+
+	// A second token accrues with time.
+	clock = clock.Add(1100 * time.Millisecond)
+	if _, code := submit(t, ts, specs[2]); code != http.StatusCreated {
+		t.Errorf("post-refill submit = %d, want 201", code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), nil)
+	cases := []string{
+		`{"configs":[]}`,
+		`{"configs":["no-such-config"]}`,
+		`{"configs":["baseline"],"benchmarks":["no-such-bench"]}`,
+		`{"configs":["baseline"],"sample":"bogus"}`,
+		`{"configs":["baseline"],"sample":"1000:4000:200","replay":true}`,
+		`{"configs":["baseline"],"unknownField":1}`,
+		`not json`,
+	}
+	for _, spec := range cases {
+		if _, code := submit(t, ts, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %s accepted with %d, want 400", spec, code)
+		}
+	}
+	if code, _ := fetch(t, ts, "/api/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+	if code, _ := fetch(t, ts, "/api/points/nope/gcc/series"); code != http.StatusNotFound {
+		t.Errorf("unknown point config = %d, want 404", code)
+	}
+}
+
+func TestResultsConflictWhileRunning(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), func(o *Options) { o.MaxConcurrentJobs = 1 })
+	s.jobSem <- struct{}{}
+	st, _ := submit(t, ts, smallSpec())
+	if code, _ := fetch(t, ts, "/api/jobs/"+st.ID+"/results"); code != http.StatusConflict {
+		t.Errorf("running-job results = %d, want 409", code)
+	}
+	<-s.jobSem
+	await(t, s, st.ID)
+	if code, _ := fetch(t, ts, "/api/jobs/"+st.ID+"/results"); code != http.StatusOK {
+		t.Errorf("finished-job results = %d, want 200", code)
+	}
+}
+
+func TestSampledJob(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), nil)
+	spec := `{"configs":["baseline"],"benchmarks":["compress"],"measureInsts":12000,"sample":"1000:4000:200"}`
+	st, code := submit(t, ts, spec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	await(t, s, st.ID)
+	code, body := fetch(t, ts, "/api/jobs/"+st.ID+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("results = %d: %s", code, body)
+	}
+	var res struct {
+		Points []PointResult `json:"points"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Sampled == nil || res.Points[0].Summary != nil {
+		t.Fatalf("sampled results = %+v", res.Points)
+	}
+	if res.Points[0].Sampled.Meta != nil {
+		t.Error("sampled point leaked provenance metadata")
+	}
+}
+
+func TestProgressEndpointAndSSE(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), nil)
+	st, _ := submit(t, ts, smallSpec())
+	await(t, s, st.ID)
+
+	code, body := fetch(t, ts, "/api/jobs/"+st.ID+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("progress = %d", code)
+	}
+	var snap struct {
+		Complete bool `json:"complete"`
+		Done     int  `json:"done"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Complete || snap.Done != 4 {
+		t.Errorf("progress snapshot = %+v", snap)
+	}
+
+	// SSE on a complete job: one event, then the stream ends.
+	resp, err := http.Get(ts.URL + "/api/jobs/" + st.ID + "/progress?sse=1&interval=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	sse, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(sse, []byte(`"complete": true`)) && !bytes.Contains(sse, []byte(`"complete":true`)) {
+		t.Errorf("SSE stream never reported completion: %s", sse)
+	}
+}
+
+func TestListEndpoints(t *testing.T) {
+	s, ts := testServer(t, t.TempDir(), nil)
+	code, body := fetch(t, ts, "/api/configs")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("baseline")) {
+		t.Errorf("configs = %d: %s", code, body)
+	}
+	code, body = fetch(t, ts, "/api/benchmarks")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("gcc")) {
+		t.Errorf("benchmarks = %d: %s", code, body)
+	}
+	code, body = fetch(t, ts, "/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Errorf("healthz = %d: %s", code, body)
+	}
+	st, _ := submit(t, ts, smallSpec())
+	await(t, s, st.ID)
+	code, body = fetch(t, ts, "/api/jobs")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(st.ID)) {
+		t.Errorf("job list = %d: %s", code, body)
+	}
+	code, body = fetch(t, ts, "/metrics")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("tracecache_server_jobs_submitted_total")) {
+		t.Errorf("metrics = %d", code)
+	}
+	if !bytes.Contains(body, []byte("tracecache_store_hits_total")) {
+		t.Error("metrics exposition lacks store counters")
+	}
+}
+
+func TestPointSeriesAndTrace(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), nil)
+	code, body := fetch(t, ts, "/api/points/baseline/compress/series?warmup=500&insts=4000&interval=500")
+	if code != http.StatusOK {
+		t.Fatalf("series = %d: %s", code, body)
+	}
+	var series struct {
+		Intervals []map[string]any `json:"intervals"`
+	}
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Intervals) == 0 {
+		t.Error("series has no intervals")
+	}
+
+	code, body = fetch(t, ts, "/api/points/baseline/compress/series?warmup=500&insts=4000&interval=500&sse=1")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("event: interval")) || !bytes.Contains(body, []byte("event: done")) {
+		t.Errorf("series SSE = %d: %.200s", code, body)
+	}
+
+	code, body = fetch(t, ts, "/api/points/baseline/compress/trace?warmup=500&insts=2000")
+	if code != http.StatusOK {
+		t.Fatalf("trace = %d: %s", code, body)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}

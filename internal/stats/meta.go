@@ -20,6 +20,12 @@ const (
 	// (see DESIGN.md §10). The headline counters are pooled across
 	// windows; they describe the measured subset, not the full stream.
 	ProvSampled = "sampled"
+	// ProvStore marks a result served from the persistent on-disk result
+	// store (internal/resultstore): the request it describes simulated
+	// nothing in this process; the numbers are the verbatim output of the
+	// run — possibly in another process — that originally populated the
+	// entry (see DESIGN.md §11).
+	ProvStore = "store"
 )
 
 // SamplingMeta records the sampling schedule of a ProvSampled run. It is

@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI for the tracecache repo: tier-1 build+test, vet+gofmt+tcvet static
 # gates, a race pass over the observability layer, the simulator, and the
-# parallel sweep engine, a fast-forward smoke+accuracy step, and a
+# parallel sweep engine, a fast-forward smoke+accuracy step, a tcserve
+# sweep-service smoke (restart + store-served resubmission), and a
 # benchmark smoke step so the perf harness stays runnable.
 set -eu
 cd "$(dirname "$0")/.."
@@ -22,9 +23,10 @@ go run ./cmd/tcvet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (obs, sim, metrics, monitor, journal) =="
+echo "== go test -race (obs, sim, metrics, monitor, journal, resultstore, server) =="
 go test -race ./internal/obs/... ./internal/sim/... \
-	./internal/metrics/... ./internal/monitor/... ./internal/journal/...
+	./internal/metrics/... ./internal/monitor/... ./internal/journal/... \
+	./internal/resultstore/... ./internal/server/... ./internal/atomicfile/...
 
 echo "== go test -race (sweep engine: worker pool + singleflight + program cache) =="
 go test -race -run 'Parallel|Singleflight|RunE|SweepE|RunAll|Shared|FastForward' \
@@ -111,6 +113,70 @@ go run ./cmd/tcsim -bench gcc -config promo-pack-costreg -check \
 go test -run 'TestRunMatchesDetailedTruth|TestRunAuditAndShape|TestRunDeterminism' \
 	./internal/sampling/
 go test -run 'TestCompareSampled|TestSamplingAudit' ./internal/check/
+
+echo "== tcserve smoke (sweep service; restart must serve the resubmitted sweep from the store) =="
+go build -o /tmp/tcserve-ci ./cmd/tcserve
+rm -rf /tmp/tcserve-ci-store /tmp/tcserve-ci-journal.jsonl
+SWEEP_SPEC='{"configs":["baseline","packing"],"benchmarks":["compress","gcc","go"],"warmupInsts":2000,"measureInsts":8000}'
+
+# start_tcserve launches a fresh daemon on the shared store and resolves
+# its bound address into SRV_ADDR / SRV_PID.
+start_tcserve() {
+	: >/tmp/tcserve-ci.err
+	/tmp/tcserve-ci -http 127.0.0.1:0 -store /tmp/tcserve-ci-store \
+		-journal /tmp/tcserve-ci-journal.jsonl -j 4 2>/tmp/tcserve-ci.err &
+	SRV_PID=$!
+	SRV_ADDR=""
+	for _ in $(seq 1 50); do
+		SRV_ADDR=$(sed -n 's|.*serving on http://\([^ ]*\).*|\1|p' /tmp/tcserve-ci.err)
+		[ -n "$SRV_ADDR" ] && break
+		sleep 0.1
+	done
+	[ -n "$SRV_ADDR" ] || { echo "FAIL: tcserve never announced"; cat /tmp/tcserve-ci.err; exit 1; }
+}
+
+# run_sweep submits the 6-point sweep, waits for the job, and saves its
+# results payload to $1.
+run_sweep() {
+	SWEEP_JOB=$(curl -sf -XPOST "http://$SRV_ADDR/api/jobs" -d "$SWEEP_SPEC" |
+		sed -n 's|.*"id": "\([^"]*\)".*|\1|p')
+	[ -n "$SWEEP_JOB" ] || { echo "FAIL: sweep submission returned no job id"; exit 1; }
+	SWEEP_STATE=""
+	for _ in $(seq 1 600); do
+		SWEEP_STATE=$(curl -sf "http://$SRV_ADDR/api/jobs/$SWEEP_JOB" |
+			sed -n 's|.*"state": "\([^"]*\)".*|\1|p')
+		[ "$SWEEP_STATE" = done ] && break
+		sleep 0.1
+	done
+	[ "$SWEEP_STATE" = done ] || { echo "FAIL: job $SWEEP_JOB ended as '$SWEEP_STATE'"; exit 1; }
+	curl -sf "http://$SRV_ADDR/api/jobs/$SWEEP_JOB/results" >"$1"
+}
+
+start_tcserve
+run_sweep /tmp/tcserve-ci-results1.json
+kill -TERM "$SRV_PID"; wait "$SRV_PID"
+
+# Restarted daemon, same store: the identical sweep must simulate nothing.
+start_tcserve
+run_sweep /tmp/tcserve-ci-results2.json
+curl -sf "http://$SRV_ADDR/metrics" >/tmp/tcserve-ci-metrics.txt
+kill -TERM "$SRV_PID"; wait "$SRV_PID"
+
+metric() { awk -v m="$1" '$1 == m {print $2}' /tmp/tcserve-ci-metrics.txt; }
+COLD=$(metric tracecache_runner_cold_starts_total)
+FORKS=$(metric tracecache_runner_checkpoint_forks_total)
+REPLAYS=$(metric tracecache_runner_replays_total)
+HITS=$(metric tracecache_store_hits_total)
+SERVED=$(metric tracecache_runner_store_served_total)
+[ "$COLD$FORKS$REPLAYS" = "000" ] || {
+	echo "FAIL: restarted daemon simulated (cold=$COLD forks=$FORKS replays=$REPLAYS)"; exit 1; }
+[ "$HITS" = 6 ] && [ "$SERVED" = 6 ] || {
+	echo "FAIL: restarted daemon store hits=$HITS served=$SERVED, want 6/6"; exit 1; }
+STORE_RECS=$(grep -c '"provenance":"store"' /tmp/tcserve-ci-journal.jsonl)
+[ "$STORE_RECS" = 6 ] || {
+	echo "FAIL: journal has $STORE_RECS store-provenance records, want 6"; exit 1; }
+cmp /tmp/tcserve-ci-results1.json /tmp/tcserve-ci-results2.json || {
+	echo "FAIL: store-served results differ from simulated results"; exit 1; }
 
 echo "== benchmark smoke =="
 go test -run xxx -bench=SimulatorThroughput -benchtime=1x -benchmem .
